@@ -1,0 +1,43 @@
+// Design-choice ablation (paper §9 future work): swap Prism5G's LSTM
+// encoder for a transformer (self-attention) encoder and compare
+// accuracy and training behaviour on one sub-dataset per time scale.
+#include "bench_util.hpp"
+#include "eval/pipeline.hpp"
+
+int main() {
+  using namespace ca5g;
+  bench::banner("Encoder ablation (paper §9)",
+                "Prism5G with LSTM vs transformer per-CC encoders");
+
+  auto gen = eval::GenerationConfig::from_env();
+  const eval::SubDatasetId id{ran::OperatorId::kOpZ, sim::Mobility::kDriving};
+
+  common::TextTable table("Prism5G encoder ablation (RMSE)");
+  table.set_header({"Scale", "LSTM encoder", "Transformer encoder", "Epochs L/T"});
+  for (auto scale : {eval::TimeScale::kShort, eval::TimeScale::kLong}) {
+    const auto ds = eval::make_ml_dataset(id, scale, gen);
+    common::Rng rng(99);
+    const auto split = ds.random_split(0.5, 0.2, rng);
+
+    const auto tc = predictors::train_config_from_env();
+    core::Prism5gConfig lstm_config;
+    core::Prism5G lstm_model(tc, lstm_config);
+    const double lstm_rmse = eval::train_and_evaluate(lstm_model, ds, split);
+
+    core::Prism5gConfig tr_config;
+    tr_config.encoder = core::EncoderKind::kTransformer;
+    core::Prism5G tr_model(tc, tr_config);
+    const double tr_rmse = eval::train_and_evaluate(tr_model, ds, split);
+
+    table.add_row({eval::time_scale_name(scale), common::TextTable::num(lstm_rmse, 3),
+                   common::TextTable::num(tr_rmse, 3),
+                   std::to_string(lstm_model.val_history().size()) + "/" +
+                       std::to_string(tr_model.val_history().size())});
+    std::cerr << "  " << eval::time_scale_name(scale) << " done\n";
+  }
+  std::cout << table << "\n";
+  std::cout << "The framework is architecture-agnostic (paper §5.2): both\n"
+            << "encoders share weights across CCs and plug into the same\n"
+            << "mask/fusion machinery.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 2 / Fig. 24: throughput distributions of 4G and 5G are
+// multimodal — the modes correspond to areas covered by different CA
+// combinations. Prints histograms and detected mode counts per
+// operator/RAT from pooled driving traces.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+std::vector<double> pooled_driving_tput(ran::OperatorId op, phy::Rat rat) {
+  std::vector<double> all;
+  const std::size_t runs = bench::fast_mode() ? 2 : 4;
+  for (std::size_t i = 0; i < runs; ++i) {
+    sim::ScenarioConfig config;
+    config.op = op;
+    config.rat = rat;
+    config.mobility = sim::Mobility::kDriving;
+    config.duration_s = bench::fast_mode() ? 30.0 : 60.0;
+    config.step_s = 0.02;
+    config.cc_slots = rat == phy::Rat::kLte ? 5 : 4;
+    config.seed = 400 + 31 * i + 7 * static_cast<std::uint64_t>(op) +
+                  (rat == phy::Rat::kNr ? 3 : 0);
+    const auto agg = sim::run_scenario(config).aggregate_series();
+    all.insert(all.end(), agg.begin(), agg.end());
+  }
+  return all;
+}
+
+void print_histogram(const std::vector<double>& xs, const std::string& label) {
+  const double hi = common::percentile(xs, 99.5);
+  const auto counts = common::histogram(xs, 0.0, hi, 24);
+  std::size_t peak = 1;
+  for (auto c : counts) peak = std::max(peak, c);
+  std::cout << label << " (0 .. " << common::TextTable::num(hi, 0) << " Mbps, "
+            << xs.size() << " samples, "
+            << common::count_modes(xs, 24, 0.015) << " modes)\n";
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const auto bars = static_cast<std::size_t>(48.0 * counts[b] / peak);
+    std::cout << "  " << common::TextTable::num(hi * b / counts.size(), 0) << "\t|"
+              << std::string(bars, '#') << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 2 / Fig. 24",
+                "Multimodal throughput distributions induced by CA "
+                "(pooled urban driving samples)");
+
+  common::TextTable table("Mode counts per operator/RAT");
+  table.set_header({"Oper.", "RAT", "Samples", "Mean", "Std", "P95", "Modes"});
+  for (auto op : {ran::OperatorId::kOpX, ran::OperatorId::kOpY, ran::OperatorId::kOpZ}) {
+    for (auto rat : {phy::Rat::kLte, phy::Rat::kNr}) {
+      const auto xs = pooled_driving_tput(op, rat);
+      const auto s = bench::summarize(xs);
+      table.add_row({ran::operator_name(op), rat == phy::Rat::kNr ? "5G" : "4G",
+                     std::to_string(xs.size()), common::TextTable::num(s.mean, 0),
+                     common::TextTable::num(s.stddev, 0),
+                     common::TextTable::num(s.p95, 0),
+                     std::to_string(common::count_modes(xs, 24, 0.015))});
+    }
+  }
+  std::cout << table << "\n";
+
+  print_histogram(pooled_driving_tput(ran::OperatorId::kOpZ, phy::Rat::kNr),
+                  "OpZ 5G throughput histogram");
+  print_histogram(pooled_driving_tput(ran::OperatorId::kOpZ, phy::Rat::kLte),
+                  "OpZ 4G throughput histogram");
+
+  std::cout << "Paper shape: both 4G and 5G distributions show multiple peaks\n"
+            << "(CA combination coverage areas); 5G spans a far wider range.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 4 / Fig. 25: spatial CA deployment. Prints (a) the CC count
+// observed along an urban drive route (the paper's street map colours)
+// and (b) 4G/5G CA prevalence percentages per operator and environment.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+/// Fraction of drive samples with ≥2 CCs (CA active).
+double ca_prevalence(ran::OperatorId op, phy::Rat rat, radio::Environment env,
+                     std::uint64_t seed) {
+  const std::size_t runs = bench::fast_mode() ? 2 : 4;
+  std::size_t ca = 0, total = 0;
+  for (std::size_t run = 0; run < runs; ++run) {
+    sim::ScenarioConfig config;
+    config.op = op;
+    config.rat = rat;
+    config.env = env;
+    config.mobility = sim::Mobility::kDriving;
+    config.duration_s = bench::fast_mode() ? 30.0 : 80.0;
+    config.step_s = 0.05;
+    config.cc_slots = rat == phy::Rat::kLte ? 5 : 4;
+    config.seed = seed * 1000 + run * 37;
+    const auto trace = sim::run_scenario(config);
+    for (const auto& s : trace.samples)
+      if (s.active_cc_count() >= 2) ++ca;
+    total += trace.samples.size();
+  }
+  return 100.0 * static_cast<double>(ca) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 4 / Fig. 25", "CA deployment prevalence and spatial CC map");
+
+  // (a) CC count along a drive (Fig. 4's colour-coded street map).
+  sim::ScenarioConfig config;
+  config.op = ran::OperatorId::kOpZ;
+  config.mobility = sim::Mobility::kDriving;
+  config.duration_s = 120.0;
+  config.step_s = 0.05;
+  config.seed = 4242;
+  const auto trace = sim::run_scenario(config);
+  std::cout << "OpZ urban drive — CC count along the route (2-min trace):\n  "
+            << bench::sparkline(trace.cc_count_series()) << "\n";
+  std::size_t dist[5] = {0, 0, 0, 0, 0};
+  for (const auto& s : trace.samples) ++dist[std::min<std::size_t>(4, s.active_cc_count())];
+  std::cout << "  CC-count share:";
+  for (int c = 0; c <= 4; ++c)
+    std::cout << "  " << c << "CC="
+              << common::TextTable::num(100.0 * dist[c] / trace.samples.size(), 1) << "%";
+  std::cout << "\n\n";
+
+  // (b) Prevalence matrix (Fig. 25).
+  common::TextTable table("CA prevalence (% of drive samples with >=2 CCs)");
+  table.set_header({"Oper.", "RAT", "Urban", "Suburban", "Beltway"});
+  std::uint64_t seed = 640;
+  for (auto op : {ran::OperatorId::kOpX, ran::OperatorId::kOpY, ran::OperatorId::kOpZ}) {
+    for (auto rat : {phy::Rat::kLte, phy::Rat::kNr}) {
+      std::vector<std::string> row{ran::operator_name(op),
+                                   rat == phy::Rat::kNr ? "5G" : "4G"};
+      for (auto env : {radio::Environment::kUrbanMacro,
+                       radio::Environment::kSuburbanMacro, radio::Environment::kHighway})
+        row.push_back(common::TextTable::num(ca_prevalence(op, rat, env, seed++), 0) + "%");
+      table.add_row(std::move(row));
+    }
+  }
+  std::cout << table << "\n";
+  std::cout << "Paper shape: 4G CA is near-ubiquitous for all operators; 5G CA\n"
+            << "prevalence is OpZ >> OpY > OpX and urban > suburban > beltway\n"
+            << "(paper averages 86% / 44% / 24% in urban areas).\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Fig. 7 + Appendix A.2 "Impact of CC Changes": a 120-second urban
+// drive showing drastic throughput changes when CCs are added/removed,
+// plus the CC-change cadence and throughput-variance statistics per
+// environment.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+struct CcChangeStats {
+  double mean_interval_s = 0.0;
+  double tput_std_around_changes = 0.0;
+  double tput_std_stable = 0.0;
+  std::size_t changes = 0;
+};
+
+CcChangeStats analyze(const sim::Trace& trace) {
+  CcChangeStats stats;
+  const auto counts = trace.cc_count_series();
+  const auto agg = trace.aggregate_series();
+  std::vector<std::size_t> change_idx;
+  for (std::size_t i = 1; i < counts.size(); ++i)
+    if (counts[i] != counts[i - 1]) change_idx.push_back(i);
+  stats.changes = change_idx.size();
+  if (change_idx.size() >= 2)
+    stats.mean_interval_s = (trace.step_s * static_cast<double>(change_idx.back() -
+                                                                change_idx.front())) /
+                            static_cast<double>(change_idx.size() - 1);
+
+  // Std-dev of throughput within ±2.5 s of a change vs. elsewhere.
+  const auto window = static_cast<std::size_t>(2.5 / trace.step_s);
+  std::vector<bool> near_change(agg.size(), false);
+  for (auto idx : change_idx)
+    for (std::size_t i = idx > window ? idx - window : 0;
+         i < std::min(agg.size(), idx + window); ++i)
+      near_change[i] = true;
+  std::vector<double> near, stable;
+  for (std::size_t i = 0; i < agg.size(); ++i)
+    (near_change[i] ? near : stable).push_back(agg[i]);
+  if (near.size() > 2) stats.tput_std_around_changes = common::stddev(near);
+  if (stable.size() > 2) stats.tput_std_stable = common::stddev(stable);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 7 / App. A.2",
+                "CC add/remove dynamics during a 120 s urban drive");
+
+  sim::ScenarioConfig config;
+  config.op = ran::OperatorId::kOpZ;
+  config.mobility = sim::Mobility::kDriving;
+  config.duration_s = 120.0;
+  config.step_s = 0.02;
+  config.seed = 7070;
+  const auto trace = sim::run_scenario(config);
+
+  std::cout << "Aggregate throughput: " << bench::sparkline(trace.aggregate_series())
+            << "\n";
+  std::cout << "Active CC count:      " << bench::sparkline(trace.cc_count_series())
+            << "\n\n";
+
+  // Event ledger (the paper's annotated arrows).
+  std::cout << "RRC CA events:\n";
+  for (const auto& s : trace.samples)
+    for (const auto& e : s.events)
+      std::cout << "  t=" << common::TextTable::num(e.time_s, 2) << "s  "
+                << ran::rrc_event_name(e.type) << "\n";
+  std::cout << "\n";
+
+  common::TextTable table("CC-change cadence & variance by environment");
+  table.set_header({"Env", "Changes", "MeanInterval(s)", "TputStd@change",
+                    "TputStd stable"});
+  for (auto env : {radio::Environment::kUrbanMacro, radio::Environment::kSuburbanMacro,
+                   radio::Environment::kHighway}) {
+    sim::ScenarioConfig env_config = config;
+    env_config.env = env;
+    env_config.duration_s = bench::fast_mode() ? 60.0 : 150.0;
+    env_config.seed = 7100 + static_cast<std::uint64_t>(env);
+    const auto stats = analyze(sim::run_scenario(env_config));
+    const std::string name = env == radio::Environment::kUrbanMacro ? "Urban"
+                             : env == radio::Environment::kSuburbanMacro ? "Suburban"
+                                                                         : "Beltway";
+    table.add_row({name, std::to_string(stats.changes),
+                   common::TextTable::num(stats.mean_interval_s, 1),
+                   common::TextTable::num(stats.tput_std_around_changes, 0),
+                   common::TextTable::num(stats.tput_std_stable, 0)});
+  }
+  std::cout << table << "\n";
+  std::cout << "Paper shape: CC additions/removals cause ≈2× throughput jumps\n"
+            << "within a second; variance near changes far exceeds the stable\n"
+            << "periods (paper: 212 vs 123 Mbps std in urban driving).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 8: ViVo QoE with the built-in history-based bandwidth estimator,
+// relative to ideal ViVo — (a) over a no-CA 5G channel (standard ViVo,
+// bitrates up to 375 Mbps) and (b) over a 4CC CA channel (scaled-up
+// ViVo, bitrates up to 750 Mbps). CA's variability worsens relative QoE.
+#include "bench_util.hpp"
+#include "apps/vivo.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+sim::Trace make_trace(bool with_ca, std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.op = ran::OperatorId::kOpZ;
+  config.mobility = sim::Mobility::kDriving;
+  config.duration_s = bench::fast_mode() ? 40.0 : 90.0;
+  config.seed = seed;
+  if (!with_ca) {
+    config.band_lock = {phy::BandId::kN41};
+    config.modem = ue::ModemModel::kX50;  // single carrier
+  }
+  return sim::run_scenario(config);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 8", "ViVo QoE vs ideal, without CA and with (up to) 4CC CA");
+
+  const std::size_t runs = bench::fast_mode() ? 4 : 8;
+  for (bool with_ca : {false, true}) {
+    apps::VivoConfig config;
+    config.max_bitrate_mbps = with_ca ? 750.0 : 375.0;  // scaled-up ViVo for CA
+    common::TextTable table(std::string("ViVo (history estimator) vs ViVo(ideal) — ") +
+                            (with_ca ? "4CC CA, 750 Mbps ladder" : "no CA, 375 Mbps ladder"));
+    table.set_header({"Run", "Tput mean/std", "QualityDrop(%)", "StallIncrease(pp)"});
+    common::RunningStats drops, stalls;
+    for (std::size_t run = 0; run < runs; ++run) {
+      const auto trace = make_trace(with_ca, 800 + run * 13 + (with_ca ? 1 : 0));
+      apps::HistoryMeanEstimator history(10);
+      apps::IdealEstimator ideal;
+      const auto r_hist = apps::run_vivo(trace, history, config);
+      const auto r_ideal = apps::run_vivo(trace, ideal, config);
+      const double drop = r_hist.quality_drop_pct(r_ideal);
+      const double stall = r_hist.stall_increase_pct(r_ideal);
+      drops.add(drop);
+      stalls.add(stall);
+      const auto agg = trace.aggregate_series();
+      table.add_row({std::to_string(run),
+                     common::TextTable::num(common::mean(agg), 0) + "/" +
+                         common::TextTable::num(common::stddev(agg), 0),
+                     common::TextTable::num(drop, 1),
+                     common::TextTable::num(stall, 1)});
+    }
+    std::cout << table;
+    std::cout << "Mean quality drop " << common::TextTable::num(drops.mean(), 1)
+              << "%, mean stall increase " << common::TextTable::num(stalls.mean(), 1)
+              << " pp\n\n";
+  }
+
+  std::cout << "Paper shape: without CA most runs degrade ≤5% on one metric;\n"
+            << "with 4CC CA the history-based estimator visibly worsens both\n"
+            << "quality and stall time relative to ideal (higher variability).\n";
+  return 0;
+}

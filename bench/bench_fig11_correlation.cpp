@@ -1,0 +1,85 @@
+// Figs. 11–13: why per-CC modeling matters. Pearson correlations
+// between each cell's RSRP and throughput — own-cell vs. cross-cell —
+// for intra-band (n41+n41) and inter-band (n41+n25) CA, plus the
+// PCell↔SCell RSRP correlation over time.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+struct CorrelationResult {
+  double own_p = 0, own_s = 0;      ///< RSRP_x ↔ Tput_x
+  double cross_ps = 0, cross_sp = 0;///< RSRP_P↔Tput_S, RSRP_S↔Tput_P
+  double rsrp_rsrp = 0;             ///< RSRP_P ↔ RSRP_S
+};
+
+CorrelationResult correlate(const std::vector<std::pair<phy::BandId, int>>& channels,
+                            std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.op = ran::OperatorId::kOpZ;
+  config.mobility = sim::Mobility::kDriving;
+  config.duration_s = bench::fast_mode() ? 60.0 : 150.0;
+  config.step_s = 0.05;
+  config.seed = seed;
+
+  ran::DeploymentParams params;
+  params.seed = seed * 13 + 3;
+  const auto dep = ran::make_deployment(config.op, config.env, params);
+  // Lock to every instance of the requested (band, bandwidth) pairs so
+  // the drive keeps reproducing this 2CC combination.
+  for (const auto& c : dep.carriers)
+    for (const auto& [band, bw] : channels)
+      if (c.band == band && c.bandwidth_mhz == bw) config.carrier_lock.push_back(c.id);
+
+  sim::SimulationEngine engine(dep, config);
+  // Correlate at 1 s granularity (paper-style sampling); averaging
+  // marginalizes slot-level scheduling noise.
+  const auto trace = engine.run().resampled(1.0);
+
+  std::vector<double> rsrp_p, rsrp_s, tput_p, tput_s;
+  for (const auto& s : trace.samples) {
+    if (s.active_cc_count() < 2) continue;
+    rsrp_p.push_back(s.ccs[0].rsrp_dbm);
+    tput_p.push_back(s.ccs[0].tput_mbps);
+    rsrp_s.push_back(s.ccs[1].rsrp_dbm);
+    tput_s.push_back(s.ccs[1].tput_mbps);
+  }
+  CorrelationResult r;
+  if (rsrp_p.size() < 30) return r;
+  r.own_p = common::pearson(rsrp_p, tput_p);
+  r.own_s = common::pearson(rsrp_s, tput_s);
+  r.cross_ps = common::pearson(rsrp_p, tput_s);
+  r.cross_sp = common::pearson(rsrp_s, tput_p);
+  r.rsrp_rsrp = common::pearson(rsrp_p, rsrp_s);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figs. 11-13",
+                "RSRP↔throughput correlations: intra-band vs inter-band CA");
+
+  const auto intra = correlate({{phy::BandId::kN41, 100}, {phy::BandId::kN41, 40}}, 111);
+  const auto inter = correlate({{phy::BandId::kN41, 100}, {phy::BandId::kN25, 20}}, 112);
+
+  common::TextTable table("Pearson correlation coefficients");
+  table.set_header({"Pairing", "Intra (n41+n41)", "Inter (n41+n25)"});
+  auto row = [&](const char* label, double a, double b) {
+    table.add_row({label, common::TextTable::num(a, 2), common::TextTable::num(b, 2)});
+  };
+  row("PCell RSRP vs PCell Tput (own)", intra.own_p, inter.own_p);
+  row("SCell RSRP vs SCell Tput (own)", intra.own_s, inter.own_s);
+  row("PCell RSRP vs SCell Tput (cross)", intra.cross_ps, inter.cross_ps);
+  row("SCell RSRP vs PCell Tput (cross)", intra.cross_sp, inter.cross_sp);
+  row("PCell RSRP vs SCell RSRP (Fig.13)", intra.rsrp_rsrp, inter.rsrp_rsrp);
+  std::cout << table << "\n";
+
+  std::cout << "Paper shape: own-cell correlations stay strong (>0.6) in both\n"
+            << "cases; cross-cell correlations stay high for intra-band CA but\n"
+            << "drop markedly for inter-band CA (≈0.5-0.55) — one CC's RSRP\n"
+            << "cannot predict another band's throughput. Motivates Prism5G's\n"
+            << "per-CC modeling.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 14: the same channel (n25) measured with and without CA at the
+// same location — RSRP/CQI/#RB barely change, yet throughput halves
+// because the MIMO layer count collapses under CA.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+struct ChannelStats {
+  double rsrp = 0, cqi = 0, layers = 0, rb = 0, cc_tput = 0, total_tput = 0;
+  std::size_t n = 0;
+};
+
+ChannelStats probe_n25(bool with_ca, std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.op = ran::OperatorId::kOpZ;
+  config.mobility = sim::Mobility::kStationary;
+  config.duration_s = bench::fast_mode() ? 20.0 : 60.0;
+  config.seed = seed;
+  if (with_ca) {
+    config.band_lock = {phy::BandId::kN41, phy::BandId::kN25};  // n41+n25+n41 combo
+  } else {
+    config.band_lock = {phy::BandId::kN25};
+    config.modem = ue::ModemModel::kX50;  // no CA
+  }
+  const auto trace = sim::run_scenario(config);
+
+  ChannelStats stats;
+  for (const auto& s : trace.samples) {
+    for (const auto& cc : s.ccs) {
+      if (!cc.active || cc.band != phy::BandId::kN25) continue;
+      stats.rsrp += cc.rsrp_dbm;
+      stats.cqi += cc.cqi;
+      stats.layers += cc.layers;
+      stats.rb += cc.rb;
+      stats.cc_tput += cc.tput_mbps;
+      stats.total_tput += s.aggregate_tput_mbps;
+      ++stats.n;
+    }
+  }
+  if (stats.n > 0) {
+    const auto dn = static_cast<double>(stats.n);
+    stats.rsrp /= dn;
+    stats.cqi /= dn;
+    stats.layers /= dn;
+    stats.rb /= dn;
+    stats.cc_tput /= dn;
+    stats.total_tput /= dn;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 14",
+                "Same channel (n25) with and without CA: MIMO layers collapse");
+
+  const auto ca = probe_n25(true, 1414);
+  const auto no_ca = probe_n25(false, 1414);
+
+  common::TextTable table("n25 at the same location");
+  table.set_header({"Metric", "CA (n41+n25+n41)", "NonCA (n25)"});
+  table.add_row({"RSRP (dBm)", common::TextTable::num(ca.rsrp, 1),
+                 common::TextTable::num(no_ca.rsrp, 1)});
+  table.add_row({"CQI", common::TextTable::num(ca.cqi, 1),
+                 common::TextTable::num(no_ca.cqi, 1)});
+  table.add_row({"MIMO layers", common::TextTable::num(ca.layers, 1),
+                 common::TextTable::num(no_ca.layers, 1)});
+  table.add_row({"#RB", common::TextTable::num(ca.rb, 1),
+                 common::TextTable::num(no_ca.rb, 1)});
+  table.add_row({"n25 Tput (Mbps)", common::TextTable::num(ca.cc_tput, 0),
+                 common::TextTable::num(no_ca.cc_tput, 0)});
+  table.add_row({"Total Tput (Mbps)", common::TextTable::num(ca.total_tput, 0),
+                 common::TextTable::num(no_ca.total_tput, 0)});
+  std::cout << table << "\n";
+
+  std::cout << "Paper anchors: RSRP ≈ -68/-70 dBm, CQI ≈ 12 in both cases, but\n"
+            << "MIMO drops 3 → 1 under CA and n25 throughput halves (212 Mbps\n"
+            << "alone vs ≈100 in CA); total CA throughput is still 4× higher.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figs. 20–21: UHD (16K) video-on-demand streaming with MPC ABR.
+// MPC's harmonic-mean predictor is swapped for Prophet / LSTM / Prism5G
+// (1 s scale, 10 s horizon). Reports average bitrate and stall time
+// (Fig. 20) and the stall-time tail percentiles across sessions
+// (Fig. 21).
+#include "bench_util.hpp"
+#include "apps/abr.hpp"
+#include "eval/pipeline.hpp"
+
+int main() {
+  using namespace ca5g;
+  bench::banner("Figs. 20-21",
+                "MPC ABR (16K ladder) with swapped throughput predictors, 1 s scale");
+
+  auto gen = eval::GenerationConfig::from_env();
+  const eval::SubDatasetId id{ran::OperatorId::kOpZ, sim::Mobility::kDriving};
+  const auto ds = eval::make_ml_dataset(id, eval::TimeScale::kLong, gen);
+  common::Rng rng(200);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+
+  std::shared_ptr<predictors::Predictor> prophet{eval::make_predictor("Prophet")};
+  std::shared_ptr<predictors::Predictor> lstm{eval::make_predictor("LSTM")};
+  std::shared_ptr<predictors::Predictor> prism{eval::make_predictor("Prism5G")};
+  prophet->fit(ds, split.train, split.val);
+  std::cerr << "  training LSTM...\n";
+  lstm->fit(ds, split.train, split.val);
+  std::cerr << "  training Prism5G...\n";
+  prism->fit(ds, split.train, split.val);
+
+  traces::DatasetSpec spec;
+  std::vector<std::pair<std::string, std::shared_ptr<apps::ThroughputEstimator>>>
+      estimators;
+  estimators.emplace_back("MPC (harmonic mean)",
+                          std::make_shared<apps::HarmonicMeanEstimator>(5));
+  estimators.emplace_back("MPC+Prophet", std::make_shared<apps::ModelEstimator>(
+                                              prophet, spec, 4, ds.tput_scale_mbps()));
+  estimators.emplace_back("MPC+LSTM", std::make_shared<apps::ModelEstimator>(
+                                          lstm, spec, 4, ds.tput_scale_mbps()));
+  estimators.emplace_back("MPC+Prism5G", std::make_shared<apps::ModelEstimator>(
+                                             prism, spec, 4, ds.tput_scale_mbps()));
+
+  // Streaming sessions over fresh 1 s-scale traces.
+  auto eval_gen = gen;
+  eval_gen.seed = gen.seed + 2020;
+  eval_gen.traces = bench::fast_mode() ? 6 : 12;
+  eval_gen.long_trace_duration_s = bench::fast_mode() ? 120.0 : 200.0;
+  const auto traces_vec = eval::generate_traces(id, eval::TimeScale::kLong, eval_gen);
+
+  apps::AbrConfig config;
+  config.total_chunks = bench::fast_mode() ? 40 : 75;
+
+  common::TextTable fig20("Fig. 20 — average QoE across sessions");
+  fig20.set_header({"Predictor", "AvgBitrate(Mbps)", "AvgStall(s)"});
+  common::TextTable fig21("Fig. 21 — stall-time tail percentiles (s)");
+  fig21.set_header({"Predictor", "P90", "P95", "P99"});
+
+  for (const auto& [name, estimator] : estimators) {
+    std::vector<double> bitrates, stall_times;
+    for (const auto& trace : traces_vec) {
+      const auto r = apps::run_mpc_abr(trace, *estimator, config);
+      bitrates.push_back(r.avg_bitrate_mbps);
+      stall_times.push_back(r.stall_time_s);
+    }
+    fig20.add_row({name, common::TextTable::num(common::mean(bitrates), 1),
+                   common::TextTable::num(common::mean(stall_times), 1)});
+    fig21.add_row({name, common::TextTable::num(common::percentile(stall_times, 90), 1),
+                   common::TextTable::num(common::percentile(stall_times, 95), 1),
+                   common::TextTable::num(common::percentile(stall_times, 99), 1)});
+    std::cerr << "  " << name << " done\n";
+  }
+  std::cout << fig20 << "\n" << fig21 << "\n";
+
+  std::cout << "Paper shape: MPC+Prism5G cuts average stall time ≈19% with a\n"
+            << "slight bitrate gain; Prophet/LSTM raise bitrate ≈2.5% but\n"
+            << "barely reduce stalls (they overestimate during CC removals).\n"
+            << "Tail stalls improve most: paper reports −50.8/−33.0/−16.0 s at\n"
+            << "P99/P95/P90 for Prism5G.\n";
+  return 0;
+}

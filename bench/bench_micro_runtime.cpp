@@ -1,0 +1,105 @@
+// §6.1 "Runtime" micro-benchmarks (google-benchmark): training epoch
+// cost and per-sample inference latency of Prism5G vs the LSTM
+// baseline, plus the simulator's step rate. The paper reports Prism5G
+// at +34.1% training and +23.2% inference vs LSTM, staying < 1 ms per
+// sample.
+#include <benchmark/benchmark.h>
+
+#include "core/prism5g.hpp"
+#include "eval/pipeline.hpp"
+#include "predictors/deep.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+/// One shared small dataset for all runtime benchmarks.
+const traces::Dataset& shared_dataset() {
+  static const traces::Dataset ds = [] {
+    eval::GenerationConfig gen;
+    gen.traces = 2;
+    gen.short_trace_duration_s = 20.0;
+    gen.short_stride = 8;
+    return eval::make_ml_dataset({ran::OperatorId::kOpZ, sim::Mobility::kDriving},
+                                 eval::TimeScale::kShort, gen);
+  }();
+  return ds;
+}
+
+predictors::TrainConfig micro_config(std::size_t epochs) {
+  predictors::TrainConfig config;
+  config.epochs = epochs;
+  config.hidden = 32;
+  config.layers = 2;
+  config.batch_size = 64;
+  config.patience = 1000;  // no early stop: fixed work per iteration
+  return config;
+}
+
+template <typename Model>
+void train_benchmark(benchmark::State& state) {
+  const auto& ds = shared_dataset();
+  common::Rng rng(1);
+  const auto split = ds.random_split(0.5, 0.1, rng);
+  for (auto _ : state) {
+    Model model(micro_config(1));  // one epoch per iteration
+    model.fit(ds, split.train, {});
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(split.train.size()));
+}
+
+template <typename Model>
+void inference_benchmark(benchmark::State& state) {
+  const auto& ds = shared_dataset();
+  common::Rng rng(2);
+  const auto split = ds.random_split(0.5, 0.1, rng);
+  Model model(micro_config(2));
+  model.fit(ds, split.train, {});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& w = *split.test[i % split.test.size()];
+    benchmark::DoNotOptimize(model.predict(w));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TrainEpoch_LSTM(benchmark::State& state) {
+  train_benchmark<predictors::LstmPredictor>(state);
+}
+void BM_TrainEpoch_Prism5G(benchmark::State& state) {
+  train_benchmark<core::Prism5G>(state);
+}
+void BM_Inference_LSTM(benchmark::State& state) {
+  inference_benchmark<predictors::LstmPredictor>(state);
+}
+void BM_Inference_Prism5G(benchmark::State& state) {
+  inference_benchmark<core::Prism5G>(state);
+}
+
+void BM_SimulatorStep(benchmark::State& state) {
+  // Cost of one 10 ms simulation step (trace generation rate).
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::ScenarioConfig config;
+    config.op = ran::OperatorId::kOpZ;
+    config.mobility = sim::Mobility::kDriving;
+    config.duration_s = static_cast<double>(steps) * 0.01;
+    config.seed = 3;
+    benchmark::DoNotOptimize(sim::run_scenario(config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+
+BENCHMARK(BM_TrainEpoch_LSTM)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainEpoch_Prism5G)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Inference_LSTM)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Inference_Prism5G)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SimulatorStep)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Table 2 / 6 / 7: per-operator channel allocation (bands, duplex
+// modes, bandwidths) and the CA combinations observed in drive tests,
+// with ordered/unique-set counts and aggregate bandwidths.
+#include <map>
+#include <set>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+void channel_allocation_table(ran::OperatorId op) {
+  ran::DeploymentParams params;
+  params.seed = 77 + static_cast<std::uint64_t>(op);
+  const auto dep = ran::make_deployment(op, radio::Environment::kUrbanMacro, params);
+
+  // Band → set of bandwidths and channel count.
+  std::map<phy::BandId, std::set<int>> bandwidths;
+  std::map<phy::BandId, std::set<int>> channels;
+  for (const auto& c : dep.carriers) {
+    bandwidths[c.band].insert(c.bandwidth_mhz);
+    channels[c.band].insert(c.channel_index);
+  }
+
+  common::TextTable table("Table 6 — " + ran::operator_name(op) +
+                          " channel allocation");
+  table.set_header({"Band", "Duplex", "Freq(MHz)", "BW(MHz)", "#Ch"});
+  for (const auto& [band, bws] : bandwidths) {
+    const auto& info = phy::band_info(band);
+    std::string bw_list;
+    for (int bw : bws) bw_list += (bw_list.empty() ? "" : ",") + std::to_string(bw);
+    table.add_row({std::string(info.name),
+                   info.duplex == phy::Duplex::kFdd ? "FDD" : "TDD",
+                   common::TextTable::num(info.center_freq_mhz, 0), bw_list,
+                   std::to_string(channels[band].size())});
+  }
+  std::cout << table << "\n";
+}
+
+void combo_census(ran::OperatorId op) {
+  // Aggregate over several drive runs, as the paper aggregates a
+  // campaign. Key: ordered list of (band, channel) — the paper counts
+  // both SCell-order-sensitive and unique-set combinations.
+  std::map<std::string, std::pair<int, std::set<std::string>>> by_label;  // unused
+  std::set<std::vector<int>> ordered_4g, ordered_5g;
+  std::set<std::set<int>> sets_4g, sets_5g;
+  std::map<std::set<int>, int> set_bw_5g;
+
+  const std::size_t runs = bench::fast_mode() ? 2 : 5;
+  for (auto rat : {phy::Rat::kLte, phy::Rat::kNr}) {
+    for (std::size_t run = 0; run < runs; ++run) {
+      sim::ScenarioConfig config;
+      config.op = op;
+      config.rat = rat;
+      config.mobility = sim::Mobility::kDriving;
+      config.duration_s = bench::fast_mode() ? 25.0 : 50.0;
+      config.step_s = 0.02;
+      config.cc_slots = rat == phy::Rat::kLte ? 5 : 8;
+      config.seed = 500 + run * 97 + static_cast<std::uint64_t>(op) * 11 +
+                    (rat == phy::Rat::kNr ? 1 : 0);
+      const auto trace = sim::run_scenario(config);
+      for (const auto& s : trace.samples) {
+        std::vector<int> ordered;
+        std::set<int> unordered;
+        int bw = 0;
+        for (const auto& cc : s.ccs) {
+          if (!cc.active) continue;
+          const int key = static_cast<int>(cc.band) * 8 + cc.channel_index;
+          ordered.push_back(key);
+          unordered.insert(key);
+          bw += cc.bandwidth_mhz;
+        }
+        if (ordered.size() < 2) continue;
+        if (rat == phy::Rat::kNr) {
+          ordered_5g.insert(ordered);
+          sets_5g.insert(unordered);
+          set_bw_5g[unordered] = bw;
+        } else {
+          ordered_4g.insert(ordered);
+          sets_4g.insert(unordered);
+        }
+      }
+    }
+  }
+
+  common::TextTable table("Table 2(b)/7 — " + ran::operator_name(op) +
+                          " CA combination census");
+  table.set_header({"Family", "Max CCs", "Max Aggr. BW", "Num (ordered/sets)"});
+  std::size_t max_4g = 0, max_5g = 0;
+  for (const auto& v : ordered_4g) max_4g = std::max(max_4g, v.size());
+  int max_bw_5g = 0;
+  for (const auto& v : ordered_5g) max_5g = std::max(max_5g, v.size());
+  for (const auto& [unordered, bw] : set_bw_5g) max_bw_5g = std::max(max_bw_5g, bw);
+  table.add_row({"4G up to " + std::to_string(max_4g) + " CCs", std::to_string(max_4g),
+                 "~100 MHz", std::to_string(ordered_4g.size()) + "/" +
+                                 std::to_string(sets_4g.size())});
+  table.add_row({"5G combos", std::to_string(max_5g),
+                 std::to_string(max_bw_5g) + " MHz",
+                 std::to_string(ordered_5g.size()) + "/" +
+                     std::to_string(sets_5g.size())});
+  std::cout << table << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2 / 6 / 7",
+                "Channel allocation and CA combinations per operator");
+  for (auto op : {ran::OperatorId::kOpX, ran::OperatorId::kOpY, ran::OperatorId::kOpZ}) {
+    channel_allocation_table(op);
+    combo_census(op);
+  }
+  std::cout << "Paper shape: 4G combos far outnumber 5G combos; OpZ reaches 4\n"
+            << "FR1 CCs / 180 MHz; OpX & OpY reach 8 mmWave CCs / 800 MHz.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 4 — the headline result: RMSE of Prism5G vs. Prophet, LSTM,
+// TCN, and Lumos5G on the six sub-datasets (3 operators × walking/
+// driving) at both time scales (10 ms / 100 ms horizon and 1 s / 10 s
+// horizon). Lower is better; the final column is Prism5G's improvement
+// over the best baseline.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "eval/pipeline.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+const std::vector<std::string> kModels{"Prophet", "LSTM", "TCN", "Lumos5G", "Prism5G"};
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 4",
+                "Prediction RMSE (normalized) — Prism5G vs baselines, "
+                "6 sub-datasets x 2 time scales");
+
+  const auto gen = eval::GenerationConfig::from_env();
+
+  for (auto scale : {eval::TimeScale::kShort, eval::TimeScale::kLong}) {
+    common::TextTable table("Table 4 — " + eval::time_scale_name(scale));
+    auto header = std::vector<std::string>{"Dataset"};
+    for (const auto& m : kModels) header.push_back(m);
+    header.push_back("Improv.(%)");
+    table.set_header(header);
+
+    common::RunningStats improvements;
+    for (const auto& id : eval::all_sub_datasets()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto ds = eval::make_ml_dataset(id, scale, gen);
+      common::Rng rng(42 + static_cast<std::uint64_t>(id.op));
+      const auto split = ds.random_split(0.5, 0.2, rng);
+
+      std::vector<std::string> row{id.label()};
+      double best_baseline = 1e9, prism = 0.0;
+      for (const auto& name : kModels) {
+        auto model = eval::make_predictor(name);
+        const double rmse = eval::train_and_evaluate(*model, ds, split);
+        row.push_back(common::TextTable::num(rmse, 3));
+        if (name == "Prism5G")
+          prism = rmse;
+        else
+          best_baseline = std::min(best_baseline, rmse);
+      }
+      const double improv = 100.0 * (best_baseline - prism) / best_baseline;
+      improvements.add(improv);
+      row.push_back(common::TextTable::num(improv, 2));
+      table.add_row(std::move(row));
+
+      const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      std::cerr << "  [" << eval::time_scale_name(scale) << "] " << id.label()
+                << " done in " << elapsed << "s\n";
+    }
+    std::cout << table;
+    std::cout << "Mean improvement over best baseline: "
+              << common::TextTable::num(improvements.mean(), 1) << "% (max "
+              << common::TextTable::num(improvements.max(), 1) << "%)\n\n";
+  }
+
+  std::cout << "Paper shape: Prism5G wins every cell; average ≈14% / max ≈22%\n"
+            << "RMSE reduction vs the best baseline; Prophet is consistently\n"
+            << "the weakest; driving datasets are harder than walking.\n";
+  return 0;
+}

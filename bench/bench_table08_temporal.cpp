@@ -1,0 +1,100 @@
+// Tables 8–10 / Figs. 31–32: temporal dynamics. Per-CC signal strength
+// is stable across times of day (Table 8), while rush-hour load shrinks
+// the RB allocation — throughput drops even though CQI/MCS stay flat —
+// especially at locations with poor coverage (Tables 9–10).
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+struct HourStats {
+  double rsrp[4] = {0, 0, 0, 0};
+  double rsrp_std[4] = {0, 0, 0, 0};
+  double cqi = 0, mcs = 0, rb = 0, tput = 0;
+};
+
+HourStats probe(double hour, bool good_coverage, std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.op = ran::OperatorId::kOpZ;
+  config.mobility = sim::Mobility::kStationary;
+  config.duration_s = bench::fast_mode() ? 20.0 : 60.0;
+  config.start_hour = hour;
+  config.seed = seed;
+  config.stationary_position = good_coverage ? radio::Position{120.0, 40.0}
+                                             : radio::Position{180.0, 190.0};
+  const auto trace = sim::run_scenario(config);
+
+  HourStats stats;
+  std::vector<double> rsrp_series[4];
+  std::size_t n = 0;
+  for (const auto& s : trace.samples) {
+    bool any = false;
+    for (std::size_t c = 0; c < 4 && c < s.ccs.size(); ++c) {
+      if (!s.ccs[c].active) continue;
+      rsrp_series[c].push_back(s.ccs[c].rsrp_dbm);
+      stats.cqi += s.ccs[c].cqi;
+      stats.mcs += s.ccs[c].mcs;
+      stats.rb += s.ccs[c].rb;
+      any = true;
+      ++n;
+    }
+    if (any) stats.tput += s.aggregate_tput_mbps;
+  }
+  if (n > 0) {
+    stats.cqi /= n;
+    stats.mcs /= n;
+    stats.rb /= n;
+    stats.tput /= trace.samples.size();
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    if (rsrp_series[c].empty()) continue;
+    stats.rsrp[c] = common::mean(rsrp_series[c]);
+    stats.rsrp_std[c] = common::stddev(rsrp_series[c]);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Tables 8-10 / Figs. 31-32",
+                "Temporal dynamics: per-CC RSRP stability vs load-driven RB shrink");
+
+  // Table 8: per-CC signal strength at peak (T1) and off-peak (T2, T3).
+  const double hours[3] = {17.0, 11.0, 23.0};  // T1 rush, T2 midday, T3 night
+  const char* labels[3] = {"T1 (rush 17:00)", "T2 (11:00)", "T3 (23:00)"};
+
+  common::TextTable t8("Table 8 — per-CC RSRP (dBm) by time of day (good coverage)");
+  t8.set_header({"Time", "CC-1", "CC-2", "CC-3", "CC-4"});
+  for (int t = 0; t < 3; ++t) {
+    const auto stats = probe(hours[t], true, 808);
+    std::vector<std::string> row{labels[t]};
+    for (int c = 0; c < 4; ++c)
+      row.push_back(common::TextTable::num(stats.rsrp[c], 1) + " ± " +
+                    common::TextTable::num(stats.rsrp_std[c], 1));
+    t8.add_row(std::move(row));
+  }
+  std::cout << t8 << "\n";
+
+  // Tables 9 & 10: CQI/MCS/#RB at good and bad coverage spots.
+  for (bool good : {true, false}) {
+    common::TextTable table(good ? "Table 9 — good-coverage location"
+                                 : "Table 10 — bad-coverage location");
+    table.set_header({"Time", "CQI", "MCS", "#RB", "AggTput(Mbps)"});
+    for (int t = 0; t < 3; ++t) {
+      const auto stats = probe(hours[t], good, good ? 809 : 810);
+      table.add_row({labels[t], common::TextTable::num(stats.cqi, 1),
+                     common::TextTable::num(stats.mcs, 1),
+                     common::TextTable::num(stats.rb, 1),
+                     common::TextTable::num(stats.tput, 0)});
+    }
+    std::cout << table << "\n";
+  }
+
+  std::cout << "Paper shape: per-CC RSRP converges across times of day\n"
+            << "(hardware doesn't move); CQI/MCS stay flat while #RB — and\n"
+            << "with it throughput — shrinks at rush hour, most visibly at\n"
+            << "poorly covered locations.\n";
+  return 0;
+}

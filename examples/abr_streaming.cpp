@@ -1,0 +1,61 @@
+// 16K video-on-demand streaming with MPC ABR (paper §7): train Prism5G
+// at the 1 s scale and compare MPC's default harmonic-mean forecaster
+// against the CA-aware predictor over a long streaming session.
+#include <iostream>
+#include <memory>
+
+#include "apps/abr.hpp"
+#include "common/table.hpp"
+#include "eval/pipeline.hpp"
+
+int main() {
+  using namespace ca5g;
+
+  std::cout << "Building the training campaign (OpZ driving, 1 s scale)...\n";
+  eval::GenerationConfig gen;
+  gen.traces = 4;
+  gen.long_trace_duration_s = 200.0;
+  const eval::SubDatasetId id{ran::OperatorId::kOpZ, sim::Mobility::kDriving};
+  const auto ds = eval::make_ml_dataset(id, eval::TimeScale::kLong, gen);
+  common::Rng rng(2);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+
+  std::cout << "Training Prism5G on " << split.train.size() << " windows...\n";
+  predictors::TrainConfig tc = predictors::train_config_from_env();
+  tc.epochs = std::min<std::size_t>(tc.epochs, 15);
+  auto prism = std::make_shared<core::Prism5G>(tc);
+  prism->fit(ds, split.train, split.val);
+
+  // A fresh 1 s-scale channel trace for the streaming session.
+  auto session_gen = gen;
+  session_gen.seed = gen.seed + 808;
+  session_gen.traces = 1;
+  const auto trace =
+      eval::generate_traces(id, eval::TimeScale::kLong, session_gen).front();
+
+  apps::AbrConfig config;  // the paper's 16K ladder up to 585 Mbps
+  config.total_chunks = 60;
+
+  traces::DatasetSpec spec;
+  apps::HarmonicMeanEstimator harmonic(5);
+  apps::ModelEstimator model(prism, spec, ds.cc_slots(), ds.tput_scale_mbps());
+  apps::IdealEstimator ideal;
+
+  common::TextTable table("MPC streaming a 2-minute 16K video");
+  table.set_header({"Forecaster", "AvgBitrate(Mbps)", "Stall(s)", "Switches"});
+  auto add = [&](const char* name, const apps::ThroughputEstimator& est) {
+    const auto r = apps::run_mpc_abr(trace, est, config);
+    table.add_row({name, common::TextTable::num(r.avg_bitrate_mbps, 1),
+                   common::TextTable::num(r.stall_time_s, 1),
+                   std::to_string(r.quality_switches)});
+  };
+  add("Harmonic mean (MPC default)", harmonic);
+  add("Prism5G", model);
+  add("Ideal (oracle)", ideal);
+  std::cout << table;
+
+  std::cout << "\nBitrate ladder: 360p=1.5, 480p=2.5, 2K=40.7, 4K=152.7, 8K=280,\n"
+            << "16K=585 Mbps (paper §7). Prism5G's CA-aware forecasts avoid the\n"
+            << "stalls harmonic mean incurs when component carriers drop.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: simulate a 5G CA drive test, inspect the trace, train
+// Prism5G and an LSTM baseline, and compare their prediction error.
+//
+// Build & run:   cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "core/prism5g.hpp"
+#include "eval/pipeline.hpp"
+
+int main() {
+  using namespace ca5g;
+
+  // --- 1. Simulate a measurement campaign: OpZ urban driving ------------
+  std::cout << "Simulating OpZ urban driving traces...\n";
+  eval::SubDatasetId id{ran::OperatorId::kOpZ, sim::Mobility::kDriving};
+  auto gen = eval::GenerationConfig::from_env();
+  gen.traces = 3;
+  gen.short_trace_duration_s = 30.0;
+  const auto traces_vec = eval::generate_traces(id, eval::TimeScale::kShort, gen);
+
+  const auto& trace = traces_vec.front();
+  const auto agg = trace.aggregate_series();
+  const auto ccs = trace.cc_count_series();
+  std::size_t events = 0;
+  for (const auto& s : trace.samples) events += s.events.size();
+  std::cout << "  trace: " << trace.samples.size() << " samples @ " << trace.step_s
+            << " s\n"
+            << "  throughput mean " << common::mean(agg) << " Mbps, max "
+            << common::max_value(agg) << " Mbps\n"
+            << "  CC count mean " << common::mean(ccs) << ", max "
+            << common::max_value(ccs) << ", RRC events " << events << "\n";
+
+  // --- 2. Window into an ML dataset --------------------------------------
+  traces::DatasetSpec spec;
+  spec.stride = 10;
+  const auto ds = traces::Dataset::from_traces(traces_vec, spec);
+  common::Rng rng(7);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  std::cout << "  dataset: " << ds.windows().size() << " windows (train "
+            << split.train.size() << ", test " << split.test.size() << "), scale "
+            << ds.tput_scale_mbps() << " Mbps\n";
+
+  // --- 3. Train Prism5G and baselines ------------------------------------
+  predictors::TrainConfig config = predictors::train_config_from_env();
+  config.epochs = std::min<std::size_t>(config.epochs, 10);
+
+  core::Prism5G prism(config);
+  const double prism_rmse = eval::train_and_evaluate(prism, ds, split);
+
+  predictors::LstmPredictor lstm(config);
+  const double lstm_rmse = eval::train_and_evaluate(lstm, ds, split);
+
+  predictors::ProphetLitePredictor prophet;
+  const double prophet_rmse = eval::train_and_evaluate(prophet, ds, split);
+
+  std::cout << "\nTest RMSE (normalized):\n"
+            << "  Prophet  " << prophet_rmse << "\n"
+            << "  LSTM     " << lstm_rmse << "\n"
+            << "  Prism5G  " << prism_rmse << "\n";
+
+  // --- 4. Per-CC predictions from Prism5G --------------------------------
+  const auto& w = *split.test.front();
+  const auto per_cc = prism.predict_per_cc(w);
+  std::cout << "\nPer-CC first-step predictions (Mbps):";
+  for (std::size_t c = 0; c < per_cc.size(); ++c)
+    std::cout << " cc" << c << "=" << per_cc[c].front() * ds.tput_scale_mbps();
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// UHD video-on-demand streaming with MPC [50] adaptive bitrate control
+// (paper §7). Chunks are prefetched into a client buffer; MPC plans the
+// next few chunks' quality levels by maximizing a QoE objective
+// (bitrate utility − rebuffering − smoothness penalty) under a
+// throughput forecast. The paper's 16K ladder is the default:
+// [1.5, 2.5, 40.71, 152.66, 280, 585] Mbps for 360p…16K.
+#pragma once
+
+#include <memory>
+
+#include "apps/estimator.hpp"
+
+namespace ca5g::apps {
+
+/// ABR session parameters.
+struct AbrConfig {
+  std::vector<double> bitrates_mbps{1.5, 2.5, 40.71, 152.66, 280.0, 585.0};
+  double chunk_duration_s = 2.0;
+  double buffer_capacity_s = 30.0;
+  std::size_t lookahead_chunks = 4;   ///< MPC planning horizon
+  double rebuffer_penalty = 600.0;    ///< λ: Mbps-equiv. per stall second (≈ top bitrate, as in MPC)
+  double smoothness_penalty = 0.5;    ///< μ: penalty per Mbps level change
+  std::size_t total_chunks = 60;      ///< video length = chunks × duration
+  double startup_buffer_s = 4.0;      ///< playback starts after this much video
+};
+
+/// Session QoE outcome (paper Figs. 20–21).
+struct AbrResult {
+  double avg_bitrate_mbps = 0.0;
+  double stall_time_s = 0.0;
+  std::size_t quality_switches = 0;
+  std::size_t chunks = 0;
+};
+
+/// Run one MPC streaming session over a trace with a pluggable
+/// throughput forecaster (the paper swaps MPC's harmonic-mean default
+/// for Prism5G / LSTM / Prophet).
+[[nodiscard]] AbrResult run_mpc_abr(const sim::Trace& trace,
+                                    const ThroughputEstimator& estimator,
+                                    const AbrConfig& config);
+
+}  // namespace ca5g::apps

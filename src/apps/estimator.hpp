@@ -1,0 +1,85 @@
+// Streaming throughput estimators that applications plug in (paper §7):
+// the history-based estimator standard ViVo/MPC use, the oracle "ideal"
+// estimator, and an adapter that drives any predictors::Predictor
+// (Prism5G, LSTM, Prophet, …) over a live trace.
+#pragma once
+
+#include <memory>
+
+#include "predictors/predictor.hpp"
+#include "sim/trace.hpp"
+
+namespace ca5g::apps {
+
+/// Estimates future throughput (Mbps) at a point in a trace.
+class ThroughputEstimator {
+ public:
+  virtual ~ThroughputEstimator() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Predicted throughput for the next `horizon` trace steps starting at
+  /// sample index `now` (exclusive of `now` itself).
+  [[nodiscard]] virtual std::vector<double> predict_mbps(const sim::Trace& trace,
+                                                         std::size_t now,
+                                                         std::size_t horizon) const = 0;
+
+  /// Scalar bandwidth estimate: mean of the horizon prediction.
+  [[nodiscard]] double estimate_mbps(const sim::Trace& trace, std::size_t now,
+                                     std::size_t horizon) const;
+};
+
+/// Mean of the last `window` observed samples (ViVo's built-in scheme
+/// and a common ABR default).
+class HistoryMeanEstimator final : public ThroughputEstimator {
+ public:
+  explicit HistoryMeanEstimator(std::size_t window = 10) : window_(window) {}
+  [[nodiscard]] std::string name() const override { return "History"; }
+  [[nodiscard]] std::vector<double> predict_mbps(const sim::Trace& trace, std::size_t now,
+                                                 std::size_t horizon) const override;
+
+ private:
+  std::size_t window_;
+};
+
+/// Harmonic mean of the last `window` samples (MPC's default predictor).
+class HarmonicMeanEstimator final : public ThroughputEstimator {
+ public:
+  explicit HarmonicMeanEstimator(std::size_t window = 5) : window_(window) {}
+  [[nodiscard]] std::string name() const override { return "HarmonicMean"; }
+  [[nodiscard]] std::vector<double> predict_mbps(const sim::Trace& trace, std::size_t now,
+                                                 std::size_t horizon) const override;
+
+ private:
+  std::size_t window_;
+};
+
+/// Oracle: returns the actual future throughput (the paper's "ideal").
+class IdealEstimator final : public ThroughputEstimator {
+ public:
+  [[nodiscard]] std::string name() const override { return "Ideal"; }
+  [[nodiscard]] std::vector<double> predict_mbps(const sim::Trace& trace, std::size_t now,
+                                                 std::size_t horizon) const override;
+};
+
+/// Adapter driving a fitted predictors::Predictor over a live trace:
+/// builds the normalized window ending at `now`, predicts, denormalizes.
+class ModelEstimator final : public ThroughputEstimator {
+ public:
+  /// `model` must already be fitted; `spec`/`tput_scale` must match the
+  /// dataset it was trained on. The model is shared, not owned.
+  ModelEstimator(std::shared_ptr<const predictors::Predictor> model,
+                 traces::DatasetSpec spec, std::size_t cc_slots, double tput_scale_mbps);
+
+  [[nodiscard]] std::string name() const override { return model_->name(); }
+  [[nodiscard]] std::vector<double> predict_mbps(const sim::Trace& trace, std::size_t now,
+                                                 std::size_t horizon) const override;
+
+ private:
+  std::shared_ptr<const predictors::Predictor> model_;
+  traces::DatasetSpec spec_;
+  std::size_t cc_slots_;
+  double tput_scale_mbps_;
+};
+
+}  // namespace ca5g::apps

@@ -1,0 +1,47 @@
+// ViVo [16] — visibility-aware volumetric (XR) streaming simulator
+// (paper §3.3 / §7). Every frame interval the app picks a quality level
+// (point-cloud density ⇒ bitrate) for the 3D frame that must arrive
+// within the 150 ms delivery deadline, guided by a bandwidth estimate.
+// QoE = (average quality level, stall time), compared against the
+// "ideal" variant that knows the actual future throughput.
+#pragma once
+
+#include <memory>
+
+#include "apps/estimator.hpp"
+
+namespace ca5g::apps {
+
+/// ViVo application parameters.
+struct VivoConfig {
+  double frame_interval_s = 0.1;   ///< decision cadence (paper: 10s of ms)
+  double deadline_s = 0.15;        ///< delivery deadline per 3D frame
+  double max_bitrate_mbps = 750.0; ///< top quality level ("scaled-up" ViVo)
+  std::size_t quality_levels = 6;  ///< linear ladder up to max_bitrate
+  double safety = 0.9;             ///< fraction of estimate ViVo dares use
+  std::size_t predict_horizon = 10;///< estimator horizon in trace steps
+};
+
+/// Session QoE outcome.
+struct VivoResult {
+  double avg_quality = 0.0;       ///< mean chosen level in [1, quality_levels]
+  double avg_quality_mbps = 0.0;  ///< mean chosen bitrate
+  double stall_time_s = 0.0;      ///< cumulative deadline overrun
+  double session_time_s = 0.0;    ///< total streamed time
+  std::size_t frames = 0;
+  std::size_t stalled_frames = 0;
+
+  /// Relative QoE degradation vs. a baseline run (paper Fig. 8/19:
+  /// "ViVo − ViVo(ideal)"): positive = worse.
+  [[nodiscard]] double quality_drop_pct(const VivoResult& ideal) const;
+  /// Stall-ratio increase in percentage points of session time.
+  [[nodiscard]] double stall_increase_pct(const VivoResult& ideal) const;
+};
+
+/// Run one ViVo session over a recorded trace with a pluggable
+/// bandwidth estimator.
+[[nodiscard]] VivoResult run_vivo(const sim::Trace& trace,
+                                  const ThroughputEstimator& estimator,
+                                  const VivoConfig& config);
+
+}  // namespace ca5g::apps

@@ -1,0 +1,80 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ca5g::common {
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  CA5G_CHECK_MSG(false, "CSV column not found: " << name);
+  return 0;  // unreachable
+}
+
+CsvDocument parse_csv(const std::string& text) {
+  CsvDocument doc;
+  std::istringstream is(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = split_line(line);
+    if (first) {
+      doc.header = std::move(cells);
+      first = false;
+    } else {
+      CA5G_CHECK_MSG(cells.size() == doc.header.size(),
+                     "CSV row width " << cells.size() << " != header width "
+                                      << doc.header.size());
+      doc.rows.push_back(std::move(cells));
+    }
+  }
+  return doc;
+}
+
+std::string to_csv(const CsvDocument& doc) {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  emit(doc.header);
+  for (const auto& row : doc.rows) emit(row);
+  return os.str();
+}
+
+CsvDocument load_csv(const std::string& path) {
+  std::ifstream in(path);
+  CA5G_CHECK_MSG(in.good(), "cannot open CSV file: " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+void save_csv(const CsvDocument& doc, const std::string& path) {
+  std::ofstream out(path);
+  CA5G_CHECK_MSG(out.good(), "cannot write CSV file: " << path);
+  out << to_csv(doc);
+  CA5G_CHECK_MSG(out.good(), "write failed for CSV file: " << path);
+}
+
+}  // namespace ca5g::common

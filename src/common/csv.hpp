@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for trace import/export. Fields are
+// unquoted (trace data is purely numeric/identifier); a header row names
+// the columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ca5g::common {
+
+/// In-memory CSV document: one header row plus string cells.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index for a header name; throws CheckError if missing.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+};
+
+/// Parse CSV text (comma separated, '\n' rows, first row is the header).
+[[nodiscard]] CsvDocument parse_csv(const std::string& text);
+
+/// Serialize to CSV text.
+[[nodiscard]] std::string to_csv(const CsvDocument& doc);
+
+/// Load/store a CSV file; throws CheckError on I/O failure.
+[[nodiscard]] CsvDocument load_csv(const std::string& path);
+void save_csv(const CsvDocument& doc, const std::string& path);
+
+}  // namespace ca5g::common

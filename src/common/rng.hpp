@@ -1,0 +1,59 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Rng (xoshiro256++ seeded via SplitMix64). This guarantees bit-for-bit
+// reproducible traces, datasets, and benchmark tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ca5g::common {
+
+/// Deterministic PRNG (xoshiro256++). Cheap to copy; fork() derives
+/// independent child streams for per-entity randomness.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xCA5'0042u) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box–Muller (cached second value).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Exponential with given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Index sampled according to non-negative weights (at least one > 0).
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  /// Derive an independent child stream (stable function of state + salt).
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept;
+
+  /// Fisher–Yates shuffle of an index vector.
+  void shuffle(std::vector<std::size_t>& v) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace ca5g::common

@@ -1,0 +1,185 @@
+#include "core/prism5g.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ca5g::core {
+
+Prism5G::Prism5G(predictors::TrainConfig train, Prism5gConfig config)
+    : predictors::DeepPredictor(train), pconfig_(config) {}
+
+std::string Prism5G::name() const {
+  std::string base = pconfig_.encoder == EncoderKind::kTransformer
+                         ? "Prism5G(transformer)"
+                         : "Prism5G";
+  if (!pconfig_.use_state && !pconfig_.use_fusion) return base + "(-state,-fusion)";
+  if (!pconfig_.use_state) return base + "(no-state)";
+  if (!pconfig_.use_fusion) return base + "(no-fusion)";
+  return base;
+}
+
+void Prism5G::build(const traces::Dataset& ds, common::Rng& rng) {
+  cc_slots_ = ds.cc_slots();
+  const std::size_t hidden = config_.hidden;
+
+  // One encoder instance == shared weights across all CC slots.
+  if (pconfig_.encoder == EncoderKind::kTransformer) {
+    attention_ = std::make_unique<nn::SelfAttentionEncoder>(rng, encoder_input_dim(),
+                                                            hidden);
+    encoder_.reset();
+  } else {
+    encoder_ = std::make_unique<nn::Lstm>(rng, encoder_input_dim(), hidden,
+                                          config_.layers);
+    attention_.reset();
+  }
+  mask_embed_ = std::make_unique<nn::Linear>(rng, cc_slots_ * ds.history(),
+                                             pconfig_.embed_dim);
+  const std::size_t fusion_in = cc_slots_ * hidden +
+                                (pconfig_.use_state ? pconfig_.embed_dim : 0);
+  fusion_ = std::make_unique<nn::Mlp>(
+      rng, std::vector<std::size_t>{fusion_in, hidden, hidden});
+  head_ = std::make_unique<nn::Mlp>(
+      rng, std::vector<std::size_t>{hidden, hidden, ds.horizon()});
+}
+
+std::vector<std::vector<nn::Tensor>> Prism5G::make_cc_sequences(
+    std::span<const traces::Window* const> batch) const {
+  CA5G_CHECK_MSG(!batch.empty(), "empty batch");
+  const std::size_t t_len = batch.front()->cc_feat.size();
+  std::vector<std::vector<nn::Tensor>> sequences(cc_slots_);
+  for (std::size_t c = 0; c < cc_slots_; ++c) {
+    sequences[c].reserve(t_len);
+    for (std::size_t t = 0; t < t_len; ++t) {
+      nn::Tensor x(batch.size(), encoder_input_dim());
+      for (std::size_t b = 0; b < batch.size(); ++b) {
+        const auto& feat = batch[b]->cc_feat[t][c];
+        // State trigger: gate per-CC features by the RRC-derived
+        // activation mask (X' = X ⊙ I). Without it, raw features pass
+        // through untouched — inactive CCs then still look like zeros in
+        // most features, but the model loses the explicit on/off signal.
+        const double gate = pconfig_.use_state ? batch[b]->mask[t][c] : 1.0;
+        std::size_t f = 0;
+        for (; f < traces::kCcFeatureDim; ++f)
+          x.set(b, f, static_cast<float>(feat[f] * gate));
+        // Shared context (aggregate history + globals), gated like the
+        // rest: X'_c = X_c ⊙ I deactivates the whole module.
+        x.set(b, f++, static_cast<float>(batch[b]->agg_history[t] * gate));
+        for (std::size_t g = 0; g < traces::kGlobalFeatureDim; ++g)
+          x.set(b, f++, static_cast<float>(batch[b]->global[t][g] * gate));
+      }
+      sequences[c].push_back(std::move(x));
+    }
+  }
+  return sequences;
+}
+
+nn::Tensor Prism5G::make_mask_matrix(std::span<const traces::Window* const> batch) const {
+  const std::size_t t_len = batch.front()->mask.size();
+  nn::Tensor m(batch.size(), cc_slots_ * t_len);
+  for (std::size_t b = 0; b < batch.size(); ++b)
+    for (std::size_t c = 0; c < cc_slots_; ++c)
+      for (std::size_t t = 0; t < t_len; ++t)
+        m.set(b, c * t_len + t, static_cast<float>(batch[b]->mask[t][c]));
+  return m;
+}
+
+std::vector<nn::Tensor> Prism5G::forward_per_cc(
+    std::span<const traces::Window* const> batch) const {
+  const auto sequences = make_cc_sequences(batch);
+
+  // 1. Shared per-CC encoding.
+  std::vector<nn::Tensor> hidden_states;
+  hidden_states.reserve(cc_slots_);
+  for (std::size_t c = 0; c < cc_slots_; ++c)
+    hidden_states.push_back(encode(sequences[c]));
+
+  // 2+3. Mask embedding and fusion over [h_1..h_C, E].
+  nn::Tensor fused;
+  if (pconfig_.use_fusion) {
+    std::vector<nn::Tensor> fusion_inputs = hidden_states;
+    if (pconfig_.use_state)
+      fusion_inputs.push_back(mask_embed_->forward(make_mask_matrix(batch)));
+    fused = fusion_->forward(nn::concat_cols(fusion_inputs));
+  }
+
+  // 4. Shared per-CC heads on h'_c = h_c + h_f. With the state trigger
+  // on, a module whose carrier is inactive at prediction time is
+  // deactivated outright: it contributes exactly zero throughput.
+  const std::size_t t_last = batch.front()->mask.size() - 1;
+  std::vector<nn::Tensor> outputs;
+  outputs.reserve(cc_slots_);
+  for (std::size_t c = 0; c < cc_slots_; ++c) {
+    const nn::Tensor h = fused.defined() ? hidden_states[c] + fused : hidden_states[c];
+    nn::Tensor y = head_->forward(h);
+    if (pconfig_.use_state) {
+      nn::Tensor gate(batch.size(), 1);
+      for (std::size_t b = 0; b < batch.size(); ++b)
+        gate.set(b, 0, static_cast<float>(batch[b]->mask[t_last][c]));
+      // Broadcast the per-row gate across the horizon columns.
+      std::vector<nn::Tensor> cols;
+      cols.reserve(horizon_);
+      for (std::size_t hcol = 0; hcol < horizon_; ++hcol) cols.push_back(gate);
+      y = y * nn::concat_cols(cols);
+    }
+    outputs.push_back(y);
+  }
+  return outputs;
+}
+
+nn::Tensor Prism5G::forward_batch(std::span<const traces::Window* const> batch,
+                                  bool /*training*/) const {
+  const auto per_cc = forward_per_cc(batch);
+  nn::Tensor agg = per_cc.front();
+  for (std::size_t c = 1; c < per_cc.size(); ++c) agg = agg + per_cc[c];
+  return agg;
+}
+
+nn::Tensor Prism5G::compute_loss(std::span<const traces::Window* const> batch) {
+  const auto per_cc = forward_per_cc(batch);
+  nn::Tensor agg = per_cc.front();
+  for (std::size_t c = 1; c < per_cc.size(); ++c) agg = agg + per_cc[c];
+  nn::Tensor loss = nn::mse_loss(agg, make_target(batch, horizon_));
+
+  if (pconfig_.per_cc_loss_weight > 0.0f) {
+    // Auxiliary per-CC supervision: each head should track its own CC.
+    for (std::size_t c = 0; c < per_cc.size(); ++c) {
+      nn::Tensor cc_target(batch.size(), horizon_);
+      for (std::size_t b = 0; b < batch.size(); ++b)
+        for (std::size_t h = 0; h < horizon_; ++h)
+          cc_target.set(b, h, static_cast<float>(batch[b]->cc_target[h][c]));
+      loss = loss + nn::scale(nn::mse_loss(per_cc[c], cc_target),
+                              pconfig_.per_cc_loss_weight /
+                                  static_cast<float>(per_cc.size()));
+    }
+  }
+  return loss;
+}
+
+std::vector<std::vector<double>> Prism5G::predict_per_cc(const traces::Window& w) const {
+  const traces::Window* ptr = &w;
+  const auto per_cc =
+      forward_per_cc(std::span<const traces::Window* const>(&ptr, 1));
+  std::vector<std::vector<double>> out(per_cc.size());
+  for (std::size_t c = 0; c < per_cc.size(); ++c) {
+    out[c].reserve(horizon_);
+    for (std::size_t h = 0; h < horizon_; ++h)
+      out[c].push_back(std::clamp<double>(per_cc[c].at(0, h), 0.0, 1.5));
+  }
+  return out;
+}
+
+nn::Tensor Prism5G::encode(std::span<const nn::Tensor> sequence) const {
+  return attention_ ? attention_->last_hidden(sequence)
+                    : encoder_->last_hidden(sequence);
+}
+
+std::vector<nn::Tensor> Prism5G::trainable_parameters() {
+  auto params = attention_ ? attention_->parameters() : encoder_->parameters();
+  for (auto& p : mask_embed_->parameters()) params.push_back(p);
+  for (auto& p : fusion_->parameters()) params.push_back(p);
+  for (auto& p : head_->parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace ca5g::core

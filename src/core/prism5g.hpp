@@ -1,0 +1,93 @@
+// Prism5G — the paper's CA-aware deep-learning throughput predictor
+// (§5). Three principles, mirrored here one-to-one:
+//
+//  1. Per-CC modeling (blue in Fig. 16): a weights-SHARED LSTM encodes
+//     each component carrier's feature sequence X_c → h_c.
+//  2. CA event monitoring (green): RRC signaling is translated into a
+//     binary activation mask I ∈ {0,1}^{C×T}; inputs are gated
+//     X'_c = X_c ⊙ I, and an embedding turns I into a dense context E.
+//  3. Fusion learning (orange): h_f = Fusion([h_1..h_C, E]) captures
+//     the inter-carrier interplay; each head then predicts its CC's
+//     future throughput from h'_c = h_c + h_f, and the aggregate is
+//     y = Σ_c MLP(h'_c).
+//
+// The two ablation switches reproduce Table 13: `use_state` disables the
+// mask gating + embedding ("No State"), `use_fusion` disables the fusion
+// module ("No Fusion").
+#pragma once
+
+#include <memory>
+
+#include "nn/attention.hpp"
+#include "predictors/deep.hpp"
+
+namespace ca5g::core {
+
+/// Which sequence encoder the per-CC modules use. The paper uses LSTM
+/// and lists transformers as future work; both are supported (§9).
+enum class EncoderKind : std::uint8_t { kLstm, kTransformer };
+
+/// Prism5G configuration beyond the shared training hyper-parameters.
+struct Prism5gConfig {
+  bool use_state = true;        ///< state-trigger mechanism (mask + embedding)
+  bool use_fusion = true;       ///< fusion-learning module
+  std::size_t embed_dim = 16;   ///< dense mask-embedding width
+  float per_cc_loss_weight = 0.5f;  ///< auxiliary per-CC supervision weight
+  EncoderKind encoder = EncoderKind::kLstm;
+};
+
+class Prism5G final : public predictors::DeepPredictor {
+ public:
+  explicit Prism5G(predictors::TrainConfig train = predictors::train_config_from_env(),
+                   Prism5gConfig config = Prism5gConfig{});
+
+  [[nodiscard]] std::string name() const override;
+
+  /// Per-CC future throughput predictions for one window (normalized):
+  /// [C][H]. The aggregate prediction is their sum (paper Figs. 33–34).
+  [[nodiscard]] std::vector<std::vector<double>> predict_per_cc(
+      const traces::Window& w) const;
+
+  [[nodiscard]] const Prism5gConfig& prism_config() const noexcept { return pconfig_; }
+
+ protected:
+  void build(const traces::Dataset& ds, common::Rng& rng) override;
+  [[nodiscard]] nn::Tensor forward_batch(std::span<const traces::Window* const> batch,
+                                         bool training) const override;
+  [[nodiscard]] std::vector<nn::Tensor> trainable_parameters() override;
+  [[nodiscard]] nn::Tensor compute_loss(
+      std::span<const traces::Window* const> batch) override;
+
+ private:
+  /// Width of one encoder input: per-CC features plus the shared
+  /// context (aggregate history, RRC event flag, CC count).
+  [[nodiscard]] static std::size_t encoder_input_dim() {
+    return traces::kCcFeatureDim + 1 + traces::kGlobalFeatureDim;
+  }
+  /// Per-CC input sequences ([C] of [T] tensors batch × F'), mask-gated
+  /// when the state mechanism is on. Each CC's features are augmented
+  /// with the shared context so encoders see the same information the
+  /// flat baselines do (paper Table 3: HisTput + signaling are inputs).
+  [[nodiscard]] std::vector<std::vector<nn::Tensor>> make_cc_sequences(
+      std::span<const traces::Window* const> batch) const;
+  /// Flattened binary mask (batch × C·T) for the embedding.
+  [[nodiscard]] nn::Tensor make_mask_matrix(
+      std::span<const traces::Window* const> batch) const;
+  /// Per-CC head outputs ([C] of batch × H tensors).
+  [[nodiscard]] std::vector<nn::Tensor> forward_per_cc(
+      std::span<const traces::Window* const> batch) const;
+
+  Prism5gConfig pconfig_;
+  std::size_t cc_slots_ = 4;
+
+  /// Encode one CC's sequence with whichever encoder is configured.
+  [[nodiscard]] nn::Tensor encode(std::span<const nn::Tensor> sequence) const;
+
+  std::unique_ptr<nn::Lstm> encoder_;      ///< weights shared across CCs
+  std::unique_ptr<nn::SelfAttentionEncoder> attention_;  ///< transformer option
+  std::unique_ptr<nn::Linear> mask_embed_; ///< sparse mask → dense E
+  std::unique_ptr<nn::Mlp> fusion_;
+  std::unique_ptr<nn::Mlp> head_;          ///< weights shared across CCs
+};
+
+}  // namespace ca5g::core

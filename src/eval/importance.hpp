@@ -1,0 +1,49 @@
+// Explainability (paper §5.1: Prism5G's per-CC design exists partly for
+// "explainability"): permutation feature importance for any fitted
+// predictor. A feature's importance is the RMSE increase when that
+// feature is shuffled across test windows — model-agnostic, so the
+// CA-aware and history-only models can be compared on the same footing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "predictors/predictor.hpp"
+
+namespace ca5g::eval {
+
+/// Importance of one per-CC feature (aggregated across CC slots).
+struct FeatureImportance {
+  std::string feature;
+  double baseline_rmse = 0.0;
+  double permuted_rmse = 0.0;
+  /// Relative RMSE increase (%) when the feature is destroyed.
+  [[nodiscard]] double increase_pct() const {
+    return baseline_rmse > 0.0
+               ? 100.0 * (permuted_rmse - baseline_rmse) / baseline_rmse
+               : 0.0;
+  }
+};
+
+/// Human-readable names of the per-CC features, indexed like
+/// traces::CcFeature.
+[[nodiscard]] const std::vector<std::string>& cc_feature_names();
+
+/// Permutation importance of every per-CC feature: for each feature,
+/// shuffle its values across the test windows (jointly over all time
+/// steps and CC slots) and measure the RMSE increase. `rounds` permuted
+/// evaluations are averaged per feature.
+[[nodiscard]] std::vector<FeatureImportance> permutation_importance(
+    const predictors::Predictor& model,
+    std::span<const traces::Window* const> test, common::Rng& rng,
+    std::size_t rounds = 1);
+
+/// Importance of the aggregate-throughput history (the non-per-CC input
+/// the baselines rely on), same protocol.
+[[nodiscard]] FeatureImportance history_importance(
+    const predictors::Predictor& model,
+    std::span<const traces::Window* const> test, common::Rng& rng,
+    std::size_t rounds = 1);
+
+}  // namespace ca5g::eval

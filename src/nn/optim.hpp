@@ -1,0 +1,64 @@
+// Optimization: Adam (Kingma & Ba, as cited by the paper) with optional
+// global-norm gradient clipping, plus the min–max feature scaler the
+// paper uses for dataset normalization.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace ca5g::nn {
+
+/// Adam optimizer over a fixed set of parameter tensors.
+class Adam {
+ public:
+  struct Config {
+    float lr = 0.01f;       ///< paper: learning rate 0.01
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float clip_norm = 5.0f; ///< global-norm clip; <=0 disables
+  };
+
+  Adam(std::vector<Tensor> parameters, Config config);
+  explicit Adam(std::vector<Tensor> parameters);
+
+  /// Zero all parameter gradients.
+  void zero_grad();
+
+  /// Apply one update from the accumulated gradients.
+  void step();
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  Config config_;
+  std::int64_t t_ = 0;
+};
+
+/// Per-column min–max scaling to [0, 1] (paper §C.1). Degenerate columns
+/// (min == max) map to 0.
+class MinMaxScaler {
+ public:
+  /// Fit bounds from rows of feature vectors.
+  void fit(const std::vector<std::vector<double>>& rows);
+
+  /// Fit from a single series (one column).
+  void fit_series(std::span<const double> series);
+
+  [[nodiscard]] double transform(double x, std::size_t column = 0) const;
+  [[nodiscard]] double inverse(double y, std::size_t column = 0) const;
+  [[nodiscard]] std::vector<double> transform_row(const std::vector<double>& row) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return !mins_.empty(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return mins_.size(); }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace ca5g::nn

@@ -1,0 +1,89 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace ca5g::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xCA5610A0;
+
+template <typename T>
+void append(std::vector<std::uint8_t>& out, const T& value) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T read(const std::vector<std::uint8_t>& in, std::size_t& offset) {
+  CA5G_CHECK_MSG(offset + sizeof(T) <= in.size(), "truncated parameter blob");
+  T value;
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_parameters(const std::vector<Tensor>& params) {
+  std::vector<std::uint8_t> out;
+  append(out, kMagic);
+  append(out, static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    CA5G_CHECK_MSG(p.defined(), "cannot serialize an undefined tensor");
+    append(out, static_cast<std::uint32_t>(p.rows()));
+    append(out, static_cast<std::uint32_t>(p.cols()));
+    const auto& values = p.values();
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+    out.insert(out.end(), bytes, bytes + values.size() * sizeof(float));
+  }
+  return out;
+}
+
+void deserialize_parameters(const std::vector<std::uint8_t>& blob,
+                            std::vector<Tensor>& params) {
+  std::size_t offset = 0;
+  CA5G_CHECK_MSG(read<std::uint32_t>(blob, offset) == kMagic,
+                 "bad parameter blob magic");
+  const auto count = read<std::uint32_t>(blob, offset);
+  CA5G_CHECK_MSG(count == params.size(),
+                 "parameter count mismatch: blob has " << count << ", model has "
+                                                       << params.size());
+  for (auto& p : params) {
+    const auto rows = read<std::uint32_t>(blob, offset);
+    const auto cols = read<std::uint32_t>(blob, offset);
+    CA5G_CHECK_MSG(rows == p.rows() && cols == p.cols(),
+                   "parameter shape mismatch: blob " << rows << "x" << cols << ", model "
+                                                     << p.rows() << "x" << p.cols());
+    auto& values = p.values();
+    CA5G_CHECK_MSG(offset + values.size() * sizeof(float) <= blob.size(),
+                   "truncated parameter payload");
+    std::memcpy(values.data(), blob.data() + offset, values.size() * sizeof(float));
+    offset += values.size() * sizeof(float);
+  }
+  CA5G_CHECK_MSG(offset == blob.size(), "trailing bytes in parameter blob");
+}
+
+void save_parameters(const std::vector<Tensor>& params, const std::string& path) {
+  const auto blob = serialize_parameters(params);
+  std::ofstream out(path, std::ios::binary);
+  CA5G_CHECK_MSG(out.good(), "cannot open for write: " << path);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  CA5G_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+void load_parameters(std::vector<Tensor>& params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  CA5G_CHECK_MSG(in.good(), "cannot open for read: " << path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> blob(size);
+  in.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(size));
+  CA5G_CHECK_MSG(in.good(), "read failed: " << path);
+  deserialize_parameters(blob, params);
+}
+
+}  // namespace ca5g::nn

@@ -1,0 +1,25 @@
+// Parameter serialization: save/load the trainable tensors of a model
+// to a small binary format (magic + per-tensor dims + float32 payload).
+// Enables train-once / deploy-many workflows for the predictors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace ca5g::nn {
+
+/// Serialize parameter tensors to a binary blob.
+[[nodiscard]] std::vector<std::uint8_t> serialize_parameters(
+    const std::vector<Tensor>& params);
+
+/// Load a blob into existing parameter tensors (shapes must match).
+void deserialize_parameters(const std::vector<std::uint8_t>& blob,
+                            std::vector<Tensor>& params);
+
+/// File convenience wrappers; throw CheckError on I/O or format errors.
+void save_parameters(const std::vector<Tensor>& params, const std::string& path);
+void load_parameters(std::vector<Tensor>& params, const std::string& path);
+
+}  // namespace ca5g::nn

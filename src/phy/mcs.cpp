@@ -1,0 +1,97 @@
+#include "phy/mcs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ca5g::phy {
+namespace {
+
+// TS 38.214 Table 5.1.3.1-2 (MCS index table 2, 256QAM). Code rates are
+// the spec's R×1024 values divided by 1024.
+constexpr std::array<McsEntry, kMaxMcsIndex + 1> kMcsTable{{
+    {0, 2, 120.0 / 1024}, {1, 2, 193.0 / 1024},  {2, 2, 308.0 / 1024},
+    {3, 2, 449.0 / 1024}, {4, 2, 602.0 / 1024},  {5, 4, 378.0 / 1024},
+    {6, 4, 434.0 / 1024}, {7, 4, 490.0 / 1024},  {8, 4, 553.0 / 1024},
+    {9, 4, 616.0 / 1024}, {10, 4, 658.0 / 1024}, {11, 6, 466.0 / 1024},
+    {12, 6, 517.0 / 1024}, {13, 6, 567.0 / 1024}, {14, 6, 616.0 / 1024},
+    {15, 6, 666.0 / 1024}, {16, 6, 719.0 / 1024}, {17, 6, 772.0 / 1024},
+    {18, 6, 822.0 / 1024}, {19, 6, 873.0 / 1024}, {20, 8, 682.5 / 1024},
+    {21, 8, 711.0 / 1024}, {22, 8, 754.0 / 1024}, {23, 8, 797.0 / 1024},
+    {24, 8, 841.0 / 1024}, {25, 8, 885.0 / 1024}, {26, 8, 916.5 / 1024},
+    {27, 8, 948.0 / 1024},
+}};
+
+// TS 38.214 Table 5.2.2.1-3 (CQI table 2, 256QAM) with SINR thresholds
+// from the usual AWGN link-level mapping (≈2 dB per CQI step).
+constexpr std::array<CqiEntry, kMaxCqiIndex + 1> kCqiTable{{
+    {0, 0, 0.0, 0.0, -1e9},  // out of range
+    {1, 2, 78.0 / 1024, 0.1523, -6.7},
+    {2, 2, 193.0 / 1024, 0.3770, -4.7},
+    {3, 2, 449.0 / 1024, 0.8770, -2.3},
+    {4, 4, 378.0 / 1024, 1.4766, 0.2},
+    {5, 4, 490.0 / 1024, 1.9141, 2.4},
+    {6, 4, 616.0 / 1024, 2.4063, 4.3},
+    {7, 6, 466.0 / 1024, 2.7305, 5.9},
+    {8, 6, 567.0 / 1024, 3.3223, 8.1},
+    {9, 6, 666.0 / 1024, 3.9023, 10.3},
+    {10, 6, 772.0 / 1024, 4.5234, 11.7},
+    {11, 6, 873.0 / 1024, 5.1152, 14.1},
+    {12, 8, 711.0 / 1024, 5.5547, 16.3},
+    {13, 8, 797.0 / 1024, 6.2266, 18.7},
+    {14, 8, 885.0 / 1024, 6.9141, 21.0},
+    {15, 8, 948.0 / 1024, 7.4063, 22.7},
+}};
+
+}  // namespace
+
+const McsEntry& mcs_entry(int mcs_index) {
+  CA5G_CHECK_MSG(mcs_index >= 0 && mcs_index <= kMaxMcsIndex,
+                 "MCS index out of range: " << mcs_index);
+  return kMcsTable[static_cast<std::size_t>(mcs_index)];
+}
+
+const CqiEntry& cqi_entry(int cqi_index) {
+  CA5G_CHECK_MSG(cqi_index >= 0 && cqi_index <= kMaxCqiIndex,
+                 "CQI index out of range: " << cqi_index);
+  return kCqiTable[static_cast<std::size_t>(cqi_index)];
+}
+
+int cqi_from_sinr(double sinr_db) noexcept {
+  int best = 0;
+  for (int i = 1; i <= kMaxCqiIndex; ++i)
+    if (sinr_db >= kCqiTable[static_cast<std::size_t>(i)].min_sinr_db) best = i;
+  return best;
+}
+
+int mcs_from_cqi(int cqi_index) {
+  const auto& cqi = cqi_entry(cqi_index);
+  if (cqi.index == 0) return 0;
+  int best = 0;
+  for (int i = 0; i <= kMaxMcsIndex; ++i) {
+    if (kMcsTable[static_cast<std::size_t>(i)].efficiency() <= cqi.efficiency + 1e-9) best = i;
+  }
+  return best;
+}
+
+double bler_estimate(double sinr_db, int mcs_index) {
+  // Logistic waterfall: BLER ≈ 10% at the SINR where the MCS efficiency
+  // equals the channel's CQI efficiency; each extra dB of margin roughly
+  // halves the error rate, each dB of deficit sharply raises it.
+  const auto& mcs = mcs_entry(mcs_index);
+  // SINR needed for this MCS: interpolate within the CQI thresholds.
+  double needed_db = kCqiTable[kMaxCqiIndex].min_sinr_db;
+  for (int i = 1; i <= kMaxCqiIndex; ++i) {
+    if (kCqiTable[static_cast<std::size_t>(i)].efficiency >= mcs.efficiency()) {
+      needed_db = kCqiTable[static_cast<std::size_t>(i)].min_sinr_db;
+      break;
+    }
+  }
+  const double margin = sinr_db - needed_db;
+  const double bler = 0.1 * std::exp2(-margin);
+  return std::clamp(bler, 0.0, 1.0);
+}
+
+}  // namespace ca5g::phy

@@ -1,0 +1,55 @@
+// Modulation-and-coding-scheme (MCS) and channel-quality-indicator (CQI)
+// tables from TS 38.214, plus the SINR↔CQI link-quality mapping used by
+// the simulator's link adaptation.
+//
+// MCS indices follow Table 5.1.3.1-2 (256QAM), CQI indices Table
+// 5.2.2.1-3 (256QAM). The paper's features (Table 12) expose CQI, MCS,
+// and BLER per component carrier; these tables close the loop between
+// channel SINR and achievable per-slot transport block size.
+#pragma once
+
+#include <cstdint>
+
+namespace ca5g::phy {
+
+inline constexpr int kMaxMcsIndex = 27;
+inline constexpr int kMaxCqiIndex = 15;
+
+/// One MCS row: modulation order (bits/symbol) and code rate.
+struct McsEntry {
+  int index;
+  int modulation_order;  ///< Qm: 2=QPSK, 4=16QAM, 6=64QAM, 8=256QAM
+  double code_rate;      ///< R, information bits per coded bit (≤ 0.926)
+  /// Spectral efficiency in information bits per resource element.
+  [[nodiscard]] double efficiency() const noexcept { return modulation_order * code_rate; }
+};
+
+/// One CQI row: what the UE reports it can sustain at ≤10% BLER.
+struct CqiEntry {
+  int index;
+  int modulation_order;
+  double code_rate;
+  double efficiency;
+  double min_sinr_db;  ///< SINR threshold at which this CQI is reported
+};
+
+/// MCS table lookup (TS 38.214 Table 5.1.3.1-2); index in [0, 27].
+[[nodiscard]] const McsEntry& mcs_entry(int mcs_index);
+
+/// CQI table lookup (TS 38.214 Table 5.2.2.1-3); index in [1, 15].
+[[nodiscard]] const CqiEntry& cqi_entry(int cqi_index);
+
+/// CQI reported for a measured SINR (highest CQI whose threshold is met;
+/// 0 = out of range / no transmission possible).
+[[nodiscard]] int cqi_from_sinr(double sinr_db) noexcept;
+
+/// Link adaptation: highest MCS whose spectral efficiency does not exceed
+/// the efficiency the reported CQI promises. CQI 0 maps to MCS 0.
+[[nodiscard]] int mcs_from_cqi(int cqi_index);
+
+/// Residual block error rate at the operating point: near the 10% BLER
+/// design target when the scheduler matches MCS to CQI, rising when the
+/// chosen MCS outruns the channel (delta_efficiency > 0).
+[[nodiscard]] double bler_estimate(double sinr_db, int mcs_index);
+
+}  // namespace ca5g::phy

@@ -1,0 +1,91 @@
+#include "phy/tbs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "phy/mcs.hpp"
+#include "phy/numerology.hpp"
+
+namespace ca5g::phy {
+namespace {
+
+// TS 38.214 Table 5.1.3.2-1: TBS values for N_info ≤ 3824.
+constexpr std::array<int, 93> kSmallTbsTable{
+    24,   32,   40,   48,   56,   64,   72,   80,   88,   96,   104,  112,  120,
+    128,  136,  144,  152,  160,  168,  176,  184,  192,  208,  224,  240,  256,
+    272,  288,  304,  320,  336,  352,  368,  384,  408,  432,  456,  480,  504,
+    528,  552,  576,  608,  640,  672,  704,  736,  768,  808,  848,  888,  928,
+    984,  1032, 1064, 1128, 1160, 1192, 1224, 1256, 1288, 1320, 1352, 1416, 1480,
+    1544, 1608, 1672, 1736, 1800, 1864, 1928, 2024, 2088, 2152, 2216, 2280, 2408,
+    2472, 2536, 2600, 2664, 2728, 2792, 2856, 2976, 3104, 3240, 3368, 3496, 3624,
+    3752, 3824};
+
+void validate(const TbsParams& p) {
+  CA5G_CHECK_MSG(p.prb_count >= 0, "negative PRB count");
+  CA5G_CHECK_MSG(p.symbols >= 1 && p.symbols <= kSymbolsPerSlot,
+                 "symbols out of range: " << p.symbols);
+  CA5G_CHECK_MSG(p.mimo_layers >= 1 && p.mimo_layers <= 8,
+                 "MIMO layers out of range: " << p.mimo_layers);
+  CA5G_CHECK_MSG(p.dmrs_re_per_prb >= 0 && p.overhead_re >= 0, "negative overhead");
+}
+
+}  // namespace
+
+int resource_elements_per_prb(const TbsParams& p) {
+  validate(p);
+  const int raw = kSubcarriersPerRb * p.symbols - p.dmrs_re_per_prb - p.overhead_re;
+  // Spec caps usable REs per PRB at 156 to bound the TBS.
+  return std::clamp(raw, 0, 156);
+}
+
+int total_resource_elements(const TbsParams& p) {
+  return resource_elements_per_prb(p) * p.prb_count;
+}
+
+double n_info(const TbsParams& p) {
+  const auto& mcs = mcs_entry(p.mcs_index);
+  return static_cast<double>(total_resource_elements(p)) * mcs.code_rate *
+         mcs.modulation_order * p.mimo_layers;
+}
+
+std::int64_t transport_block_size(const TbsParams& p) {
+  const double info = n_info(p);
+  if (info <= 0.0) return 0;
+
+  if (info <= 3824.0) {
+    // Step 3: quantize and pick the smallest table entry ≥ N'_info.
+    const int n = std::max(3, static_cast<int>(std::floor(std::log2(info))) - 6);
+    const double scale = std::exp2(n);
+    const auto quantized =
+        std::max<std::int64_t>(24, static_cast<std::int64_t>(scale * std::floor(info / scale)));
+    for (int tbs : kSmallTbsTable)
+      if (tbs >= quantized) return tbs;
+    return kSmallTbsTable.back();
+  }
+
+  // Step 4: large TBS via LDPC segmentation rules.
+  const auto& mcs = mcs_entry(p.mcs_index);
+  const int n = static_cast<int>(std::floor(std::log2(info - 24.0))) - 5;
+  const double scale = std::exp2(n);
+  const auto n_info_prime = std::max<std::int64_t>(
+      3840, static_cast<std::int64_t>(scale * std::llround((info - 24.0) / scale)));
+  if (mcs.code_rate <= 0.25) {
+    const auto c = (n_info_prime + 24 + 3816 - 1) / 3816;
+    return 8 * c * ((n_info_prime + 24 + 8 * c - 1) / (8 * c)) - 24;
+  }
+  if (n_info_prime > 8424) {
+    const auto c = (n_info_prime + 24 + 8424 - 1) / 8424;
+    return 8 * c * ((n_info_prime + 24 + 8 * c - 1) / (8 * c)) - 24;
+  }
+  return 8 * ((n_info_prime + 24 + 7) / 8) - 24;
+}
+
+double slot_throughput_bps(const TbsParams& p, int scs_khz, Duplex duplex) {
+  const double slots_per_second = 1000.0 * slots_per_subframe(scs_khz);
+  return static_cast<double>(transport_block_size(p)) * slots_per_second *
+         downlink_duty(duplex);
+}
+
+}  // namespace ca5g::phy

@@ -1,0 +1,44 @@
+// Transport block size (TBS) determination per TS 38.214 §5.1.3.2 —
+// the paper's Eq. (1): TBS = Quantizer(N_re · R · Qm · v).
+//
+// This is the heart of the PHY throughput model: given the frequency-
+// domain allocation (#PRB), time-domain allocation (#symbols), MCS, and
+// MIMO layer count, it yields the number of information bits a slot
+// carries, from which per-CC throughput follows.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/band.hpp"
+
+namespace ca5g::phy {
+
+/// Inputs to the TBS computation for one slot.
+struct TbsParams {
+  int prb_count = 0;        ///< allocated physical resource blocks
+  int symbols = 14;         ///< OFDM symbols allocated in the slot (1..14)
+  int dmrs_re_per_prb = 12; ///< REs consumed by DMRS per PRB (type 1, 1 symbol)
+  int overhead_re = 0;      ///< N_oh^PRB: CSI-RS/CORESET overhead per PRB
+  int mcs_index = 0;        ///< MCS table-2 index (0..27)
+  int mimo_layers = 1;      ///< v: spatial layers (1..8)
+};
+
+/// Resource elements available for the shared channel per PRB
+/// (capped at 156 per the spec).
+[[nodiscard]] int resource_elements_per_prb(const TbsParams& p);
+
+/// Total REs for the allocation: RE/PRB × #PRB.
+[[nodiscard]] int total_resource_elements(const TbsParams& p);
+
+/// Transport block size in bits (the full spec quantizer, including the
+/// small-TBS table below 3824 bits and the LDPC segmentation rules above).
+[[nodiscard]] std::int64_t transport_block_size(const TbsParams& p);
+
+/// Convenience: raw (unquantized) information bits N_info = N_re·R·Qm·v.
+[[nodiscard]] double n_info(const TbsParams& p);
+
+/// Peak PHY-layer throughput in bits per second for a carrier that
+/// schedules this allocation every slot: TBS × slots/s × DL duty.
+[[nodiscard]] double slot_throughput_bps(const TbsParams& p, int scs_khz, Duplex duplex);
+
+}  // namespace ca5g::phy

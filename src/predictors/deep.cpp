@@ -1,0 +1,280 @@
+#include "predictors/deep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/serialize.hpp"
+
+namespace ca5g::predictors {
+
+// ---- Base training loop ------------------------------------------------------
+
+std::size_t DeepPredictor::input_dim(const traces::Dataset& ds, InputMode mode) {
+  switch (mode) {
+    case InputMode::kThroughputOnly: return 1;
+    case InputMode::kThroughputPlusGlobal: return 1 + traces::kGlobalFeatureDim;
+    case InputMode::kFullFlat: return ds.flat_dim();
+  }
+  return ds.flat_dim();
+}
+
+std::vector<nn::Tensor> DeepPredictor::make_sequence(
+    std::span<const traces::Window* const> batch, InputMode mode) {
+  if (mode == InputMode::kFullFlat) return make_flat_sequence(batch);
+  CA5G_CHECK_MSG(!batch.empty(), "empty batch");
+  const std::size_t t_len = batch.front()->agg_history.size();
+  const std::size_t dim =
+      mode == InputMode::kThroughputOnly ? 1 : 1 + traces::kGlobalFeatureDim;
+  std::vector<nn::Tensor> sequence;
+  sequence.reserve(t_len);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    nn::Tensor x(batch.size(), dim);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      x.set(b, 0, static_cast<float>(batch[b]->agg_history[t]));
+      if (mode == InputMode::kThroughputPlusGlobal)
+        for (std::size_t g = 0; g < traces::kGlobalFeatureDim; ++g)
+          x.set(b, 1 + g, static_cast<float>(batch[b]->global[t][g]));
+    }
+    sequence.push_back(std::move(x));
+  }
+  return sequence;
+}
+
+std::vector<nn::Tensor> DeepPredictor::make_flat_sequence(
+    std::span<const traces::Window* const> batch) {
+  CA5G_CHECK_MSG(!batch.empty(), "empty batch");
+  const std::size_t t_len = batch.front()->cc_feat.size();
+  const auto first = traces::Dataset::flatten_step(*batch.front(), 0);
+  const std::size_t dim = first.size();
+
+  std::vector<nn::Tensor> sequence;
+  sequence.reserve(t_len);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    nn::Tensor x(batch.size(), dim);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      const auto flat = traces::Dataset::flatten_step(*batch[b], t);
+      CA5G_CHECK_MSG(flat.size() == dim, "inconsistent flat dims in batch");
+      for (std::size_t c = 0; c < dim; ++c)
+        x.set(b, c, static_cast<float>(flat[c]));
+    }
+    sequence.push_back(std::move(x));
+  }
+  return sequence;
+}
+
+nn::Tensor DeepPredictor::make_target(std::span<const traces::Window* const> batch,
+                                      std::size_t horizon) {
+  nn::Tensor y(batch.size(), horizon);
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    CA5G_CHECK_MSG(batch[b]->target.size() >= horizon, "target shorter than horizon");
+    for (std::size_t h = 0; h < horizon; ++h)
+      y.set(b, h, static_cast<float>(batch[b]->target[h]));
+  }
+  return y;
+}
+
+std::vector<std::vector<float>> DeepPredictor::snapshot_parameters() {
+  std::vector<std::vector<float>> snapshot;
+  for (const auto& p : trainable_parameters()) snapshot.push_back(p.values());
+  return snapshot;
+}
+
+void DeepPredictor::restore_parameters(const std::vector<std::vector<float>>& snapshot) {
+  auto params = trainable_parameters();
+  CA5G_CHECK_MSG(params.size() == snapshot.size(), "snapshot size mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) params[i].values() = snapshot[i];
+}
+
+void DeepPredictor::fit(const traces::Dataset& ds,
+                        std::span<const traces::Window* const> train,
+                        std::span<const traces::Window* const> val) {
+  CA5G_CHECK_MSG(!train.empty(), "fit with empty training set");
+  horizon_ = ds.horizon();
+  flat_dim_ = ds.flat_dim();
+
+  common::Rng rng(config_.seed);
+  build(ds, rng);
+
+  nn::Adam::Config adam_config;
+  adam_config.lr = config_.lr;
+  nn::Adam optimizer(trainable_parameters(), adam_config);
+
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double best_val = 1e30;
+  std::vector<std::vector<float>> best_params = snapshot_parameters();
+  std::size_t since_best = 0;
+  val_history_.clear();
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<const traces::Window*> batch;
+      batch.reserve(end - start);
+      for (std::size_t i = start; i < end; ++i) batch.push_back(train[order[i]]);
+
+      optimizer.zero_grad();
+      nn::Tensor loss = compute_loss(batch);
+      loss.backward();
+      optimizer.step();
+    }
+
+    // Validation RMSE for model selection.
+    double val_rmse = 0.0;
+    if (!val.empty()) {
+      double sq = 0.0;
+      std::size_t count = 0;
+      for (std::size_t start = 0; start < val.size(); start += config_.batch_size) {
+        const std::size_t end = std::min(val.size(), start + config_.batch_size);
+        std::vector<const traces::Window*> batch(val.begin() + static_cast<std::ptrdiff_t>(start),
+                                                 val.begin() + static_cast<std::ptrdiff_t>(end));
+        const nn::Tensor pred = forward_batch(batch, /*training=*/false);
+        for (std::size_t b = 0; b < batch.size(); ++b)
+          for (std::size_t h = 0; h < horizon_; ++h) {
+            const double d = pred.at(b, h) - batch[b]->target[h];
+            sq += d * d;
+            ++count;
+          }
+      }
+      val_rmse = std::sqrt(sq / static_cast<double>(std::max<std::size_t>(count, 1)));
+      val_history_.push_back(val_rmse);
+      if (val_rmse < best_val - 1e-5) {
+        best_val = val_rmse;
+        best_params = snapshot_parameters();
+        since_best = 0;
+      } else if (++since_best >= config_.patience) {
+        break;  // early stop
+      }
+    }
+  }
+  if (!val.empty()) restore_parameters(best_params);
+}
+
+void DeepPredictor::save(const std::string& path) {
+  nn::save_parameters(trainable_parameters(), path);
+}
+
+void DeepPredictor::load(const traces::Dataset& ds, const std::string& path) {
+  horizon_ = ds.horizon();
+  flat_dim_ = ds.flat_dim();
+  common::Rng rng(config_.seed);
+  build(ds, rng);
+  auto params = trainable_parameters();
+  nn::load_parameters(params, path);
+}
+
+nn::Tensor DeepPredictor::compute_loss(std::span<const traces::Window* const> batch) {
+  const nn::Tensor pred = forward_batch(batch, /*training=*/true);
+  const nn::Tensor target = make_target(batch, horizon_);
+  return nn::mse_loss(pred, target);
+}
+
+std::vector<double> DeepPredictor::predict(const traces::Window& w) const {
+  const traces::Window* ptr = &w;
+  const nn::Tensor pred = forward_batch(std::span<const traces::Window* const>(&ptr, 1),
+                                        /*training=*/false);
+  std::vector<double> out;
+  out.reserve(horizon_);
+  for (std::size_t h = 0; h < horizon_; ++h)
+    out.push_back(std::clamp<double>(pred.at(0, h), 0.0, 1.5));
+  return out;
+}
+
+// ---- LSTM baseline -------------------------------------------------------------
+
+void LstmPredictor::build(const traces::Dataset& ds, common::Rng& rng) {
+  lstm_ = std::make_unique<nn::Lstm>(rng, input_dim(ds, InputMode::kThroughputOnly),
+                                     config_.hidden, config_.layers);
+  head_ = std::make_unique<nn::Linear>(rng, config_.hidden, ds.horizon());
+}
+
+nn::Tensor LstmPredictor::forward_batch(std::span<const traces::Window* const> batch,
+                                        bool /*training*/) const {
+  const auto sequence = make_sequence(batch, InputMode::kThroughputOnly);
+  return head_->forward(lstm_->last_hidden(sequence));
+}
+
+std::vector<nn::Tensor> LstmPredictor::trainable_parameters() {
+  auto params = lstm_->parameters();
+  for (auto& p : head_->parameters()) params.push_back(p);
+  return params;
+}
+
+// ---- TCN baseline ---------------------------------------------------------------
+
+void TcnPredictor::build(const traces::Dataset& ds, common::Rng& rng) {
+  convs_.clear();
+  const std::size_t h = config_.hidden;
+  convs_.emplace_back(rng, input_dim(ds, InputMode::kThroughputOnly), h, 3, 1);
+  convs_.emplace_back(rng, h, h, 3, 2);
+  convs_.emplace_back(rng, h, h, 3, 4);
+  head_ = std::make_unique<nn::Linear>(rng, h, ds.horizon());
+}
+
+nn::Tensor TcnPredictor::forward_batch(std::span<const traces::Window* const> batch,
+                                       bool /*training*/) const {
+  std::vector<nn::Tensor> seq = make_sequence(batch, InputMode::kThroughputOnly);
+  for (const auto& conv : convs_) {
+    seq = conv.forward(seq);
+    for (auto& x : seq) x = nn::relu(x);
+  }
+  return head_->forward(seq.back());
+}
+
+std::vector<nn::Tensor> TcnPredictor::trainable_parameters() {
+  std::vector<nn::Tensor> params;
+  for (auto& conv : convs_)
+    for (auto& p : conv.parameters()) params.push_back(p);
+  for (auto& p : head_->parameters()) params.push_back(p);
+  return params;
+}
+
+// ---- Lumos5G (Seq2Seq) -----------------------------------------------------------
+
+void Lumos5gPredictor::build(const traces::Dataset& ds, common::Rng& rng) {
+  encoder_ = std::make_unique<nn::Lstm>(
+      rng, input_dim(ds, InputMode::kThroughputPlusGlobal), config_.hidden,
+      config_.layers);
+  decoder_ = std::make_unique<nn::Lstm>(rng, 1, config_.hidden, config_.layers);
+  out_ = std::make_unique<nn::Linear>(rng, config_.hidden, 1);
+}
+
+nn::Tensor Lumos5gPredictor::forward_batch(std::span<const traces::Window* const> batch,
+                                           bool training) const {
+  const auto sequence = make_sequence(batch, InputMode::kThroughputPlusGlobal);
+  auto states = encoder_->final_states(sequence);
+
+  // Decoder starts from the last observed aggregate throughput.
+  nn::Tensor input(batch.size(), 1);
+  for (std::size_t b = 0; b < batch.size(); ++b)
+    input.set(b, 0, static_cast<float>(batch[b]->agg_history.back()));
+
+  std::vector<nn::Tensor> step_outputs;
+  for (std::size_t h = 0; h < horizon_; ++h) {
+    const nn::Tensor hidden = decoder_->step_with_states(input, states);
+    nn::Tensor y = out_->forward(hidden);
+    step_outputs.push_back(y);
+    if (training) {
+      // Teacher forcing: next decoder input is the ground truth.
+      nn::Tensor forced(batch.size(), 1);
+      for (std::size_t b = 0; b < batch.size(); ++b)
+        forced.set(b, 0, static_cast<float>(batch[b]->target[h]));
+      input = forced;
+    } else {
+      input = y.detach();
+    }
+  }
+  return nn::concat_cols(step_outputs);
+}
+
+std::vector<nn::Tensor> Lumos5gPredictor::trainable_parameters() {
+  auto params = encoder_->parameters();
+  for (auto& p : decoder_->parameters()) params.push_back(p);
+  for (auto& p : out_->parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace ca5g::predictors

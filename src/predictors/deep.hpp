@@ -1,0 +1,148 @@
+// Deep-learning baselines (paper §6.1), faithful to their citations:
+//  * LSTM [28] (Mei et al.) — recurrent forecaster over the aggregate
+//    bandwidth history.
+//  * TCN [9] (Chen et al.) — temporal-convolutional forecaster over the
+//    same history.
+//  * Lumos5G [32] — the Seq2Seq architecture with generic (non-mmWave)
+//    context features: throughput history + RRC event flag + CC count.
+// None of them models individual component carriers — that is exactly
+// the gap Prism5G fills (paper §5: existing approaches "blindly predict
+// overall throughput").
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+#include "predictors/predictor.hpp"
+
+namespace ca5g::predictors {
+
+/// Shared mini-batch supervised training loop with validation-based
+/// early stopping and best-checkpoint restore. Subclasses define the
+/// network; the base class owns fit/predict mechanics.
+class DeepPredictor : public Predictor {
+ public:
+  explicit DeepPredictor(TrainConfig config) : config_(config) {}
+
+  void fit(const traces::Dataset& ds, std::span<const traces::Window* const> train,
+           std::span<const traces::Window* const> val) final;
+
+  [[nodiscard]] std::vector<double> predict(const traces::Window& w) const final;
+
+  /// Validation RMSE trajectory of the last fit (for tests/benches).
+  [[nodiscard]] const std::vector<double>& val_history() const noexcept {
+    return val_history_;
+  }
+
+  /// Persist the trained parameters (call after fit()).
+  void save(const std::string& path);
+
+  /// Rebuild the network for `ds`'s dimensions and load parameters
+  /// previously stored with save(). The model is then ready to predict.
+  void load(const traces::Dataset& ds, const std::string& path);
+
+ protected:
+  /// Construct layers for the dataset's dimensions.
+  virtual void build(const traces::Dataset& ds, common::Rng& rng) = 0;
+  /// Forward a batch → (batch × horizon) normalized predictions.
+  /// `training` enables teacher forcing where applicable.
+  [[nodiscard]] virtual nn::Tensor forward_batch(
+      std::span<const traces::Window* const> batch, bool training) const = 0;
+  /// All trainable parameters.
+  [[nodiscard]] virtual std::vector<nn::Tensor> trainable_parameters() = 0;
+
+  /// Training loss for one batch; default is MSE of the aggregate
+  /// prediction. Prism5G overrides this to add per-CC supervision.
+  [[nodiscard]] virtual nn::Tensor compute_loss(
+      std::span<const traces::Window* const> batch);
+
+  /// What each step's input vector contains.
+  enum class InputMode {
+    kThroughputOnly,        ///< [agg_tput] — classic bandwidth forecasting
+    kThroughputPlusGlobal,  ///< [agg_tput, global...] — generic context
+    kFullFlat,              ///< all CC features + globals + aggregate
+  };
+
+  /// Sequence of T input tensors for a batch under an input mode.
+  [[nodiscard]] static std::vector<nn::Tensor> make_sequence(
+      std::span<const traces::Window* const> batch, InputMode mode);
+
+  /// Input width for a mode over a dataset.
+  [[nodiscard]] static std::size_t input_dim(const traces::Dataset& ds, InputMode mode);
+
+  /// Sequence of T input tensors (batch × flat_dim) for a batch.
+  [[nodiscard]] static std::vector<nn::Tensor> make_flat_sequence(
+      std::span<const traces::Window* const> batch);
+  /// Target tensor (batch × horizon).
+  [[nodiscard]] static nn::Tensor make_target(std::span<const traces::Window* const> batch,
+                                              std::size_t horizon);
+
+  TrainConfig config_;
+  std::size_t horizon_ = 10;
+  std::size_t flat_dim_ = 0;
+
+ private:
+  [[nodiscard]] std::vector<std::vector<float>> snapshot_parameters();
+  void restore_parameters(const std::vector<std::vector<float>>& snapshot);
+
+  std::vector<double> val_history_;
+};
+
+/// Plain LSTM over flattened features → linear head (baseline "LSTM").
+class LstmPredictor final : public DeepPredictor {
+ public:
+  explicit LstmPredictor(TrainConfig config = train_config_from_env())
+      : DeepPredictor(config) {}
+  [[nodiscard]] std::string name() const override { return "LSTM"; }
+
+ protected:
+  void build(const traces::Dataset& ds, common::Rng& rng) override;
+  [[nodiscard]] nn::Tensor forward_batch(std::span<const traces::Window* const> batch,
+                                         bool training) const override;
+  [[nodiscard]] std::vector<nn::Tensor> trainable_parameters() override;
+
+ private:
+  std::unique_ptr<nn::Lstm> lstm_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+/// Temporal convolutional network: stacked causal dilated convolutions.
+class TcnPredictor final : public DeepPredictor {
+ public:
+  explicit TcnPredictor(TrainConfig config = train_config_from_env())
+      : DeepPredictor(config) {}
+  [[nodiscard]] std::string name() const override { return "TCN"; }
+
+ protected:
+  void build(const traces::Dataset& ds, common::Rng& rng) override;
+  [[nodiscard]] nn::Tensor forward_batch(std::span<const traces::Window* const> batch,
+                                         bool training) const override;
+  [[nodiscard]] std::vector<nn::Tensor> trainable_parameters() override;
+
+ private:
+  std::vector<nn::CausalConv1d> convs_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+/// Lumos5G-style Seq2Seq: LSTM encoder, LSTM decoder unrolled over the
+/// horizon with teacher forcing during training.
+class Lumos5gPredictor final : public DeepPredictor {
+ public:
+  explicit Lumos5gPredictor(TrainConfig config = train_config_from_env())
+      : DeepPredictor(config) {}
+  [[nodiscard]] std::string name() const override { return "Lumos5G"; }
+
+ protected:
+  void build(const traces::Dataset& ds, common::Rng& rng) override;
+  [[nodiscard]] nn::Tensor forward_batch(std::span<const traces::Window* const> batch,
+                                         bool training) const override;
+  [[nodiscard]] std::vector<nn::Tensor> trainable_parameters() override;
+
+ private:
+  std::unique_ptr<nn::Lstm> encoder_;
+  std::unique_ptr<nn::Lstm> decoder_;
+  std::unique_ptr<nn::Linear> out_;
+};
+
+}  // namespace ca5g::predictors

@@ -1,0 +1,54 @@
+// Statistical baselines:
+//  * HarmonicMean — MPC's default bandwidth estimator (paper §7).
+//  * ProphetLite — a Stan-free stand-in for Prophet [44]: per-window
+//    ridge fit of linear trend + Fourier seasonality, refit at every
+//    prediction like the paper's rolling cross-validation protocol.
+#pragma once
+
+#include "predictors/predictor.hpp"
+
+namespace ca5g::predictors {
+
+/// Harmonic mean of the history, repeated across the horizon.
+class HarmonicMeanPredictor final : public Predictor {
+ public:
+  [[nodiscard]] std::string name() const override { return "HarmonicMean"; }
+  void fit(const traces::Dataset& ds, std::span<const traces::Window* const>,
+           std::span<const traces::Window* const>) override {
+    horizon_ = ds.horizon();
+  }
+  [[nodiscard]] std::vector<double> predict(const traces::Window& w) const override;
+
+ private:
+  std::size_t horizon_ = 10;
+};
+
+/// Trend + Fourier-seasonality regression, refit per window.
+class ProphetLitePredictor final : public Predictor {
+ public:
+  struct Config {
+    std::size_t fourier_order = 2;  ///< harmonics of the window period
+    double ridge_lambda = 0.5;      ///< L2 regularization strength
+  };
+
+  ProphetLitePredictor() = default;
+  explicit ProphetLitePredictor(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "Prophet"; }
+  void fit(const traces::Dataset& ds, std::span<const traces::Window* const>,
+           std::span<const traces::Window* const>) override {
+    horizon_ = ds.horizon();
+  }
+  [[nodiscard]] std::vector<double> predict(const traces::Window& w) const override;
+
+ private:
+  Config config_{};
+  std::size_t horizon_ = 10;
+};
+
+/// Solve the ridge-regularized normal equations (AᵀA + λI)x = Aᵀy by
+/// Gaussian elimination with partial pivoting. Exposed for testing.
+[[nodiscard]] std::vector<double> ridge_solve(const std::vector<std::vector<double>>& a,
+                                              const std::vector<double>& y, double lambda);
+
+}  // namespace ca5g::predictors

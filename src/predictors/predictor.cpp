@@ -1,0 +1,63 @@
+#include "predictors/predictor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace ca5g::predictors {
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+TrainConfig train_config_from_env() {
+  TrainConfig config;
+  config.epochs = env_size("CA5G_EPOCHS", config.epochs);
+  config.hidden = env_size("CA5G_HIDDEN", config.hidden);
+  config.batch_size = env_size("CA5G_BATCH", config.batch_size);
+  if (const char* fast = std::getenv("CA5G_FAST"); fast && fast[0] == '1') {
+    // Fast mode trims epochs but keeps the model capacity: an
+    // under-sized Prism5G inverts every comparison downstream.
+    config.epochs = std::max<std::size_t>(14, config.epochs / 2);
+  }
+  return config;
+}
+
+double evaluate_rmse(const Predictor& model,
+                     std::span<const traces::Window* const> test) {
+  CA5G_CHECK_MSG(!test.empty(), "evaluate_rmse on empty test set");
+  std::vector<double> pred, truth;
+  for (const traces::Window* w : test) {
+    const auto p = model.predict(*w);
+    const std::size_t n = std::min(p.size(), w->target.size());
+    pred.insert(pred.end(), p.begin(), p.begin() + static_cast<std::ptrdiff_t>(n));
+    truth.insert(truth.end(), w->target.begin(),
+                 w->target.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return common::rmse(pred, truth);
+}
+
+double evaluate_mae(const Predictor& model,
+                    std::span<const traces::Window* const> test) {
+  CA5G_CHECK_MSG(!test.empty(), "evaluate_mae on empty test set");
+  std::vector<double> pred, truth;
+  for (const traces::Window* w : test) {
+    const auto p = model.predict(*w);
+    const std::size_t n = std::min(p.size(), w->target.size());
+    pred.insert(pred.end(), p.begin(), p.begin() + static_cast<std::ptrdiff_t>(n));
+    truth.insert(truth.end(), w->target.begin(),
+                 w->target.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return common::mae(pred, truth);
+}
+
+}  // namespace ca5g::predictors

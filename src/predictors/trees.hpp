@@ -1,0 +1,95 @@
+// Classical ML baselines on flattened window features (paper §C.1:
+// "combine all historical data into a single feature"): CART regression
+// trees with variance-reduction splits, bagged into a Random Forest [4]
+// and boosted into GBDT [32]. One ensemble is trained per horizon step.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "predictors/predictor.hpp"
+
+namespace ca5g::predictors {
+
+/// A single CART regression tree (axis-aligned variance-reduction splits
+/// with per-split random feature subsampling).
+class RegressionTree {
+ public:
+  struct Config {
+    std::size_t max_depth = 6;
+    std::size_t min_samples_leaf = 8;
+    std::size_t feature_subsample = 0;  ///< 0 = sqrt(num features)
+  };
+
+  void fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+           const Config& config, common::Rng& rng);
+  [[nodiscard]] double predict(const std::vector<double>& x) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct TreeNode {
+    int feature = -1;       ///< -1 for leaves
+    double threshold = 0.0;
+    double value = 0.0;     ///< leaf prediction
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(const std::vector<std::vector<double>>& x,
+                     const std::vector<double>& y, std::vector<std::size_t>& indices,
+                     std::size_t begin, std::size_t end, std::size_t depth,
+                     const Config& config, common::Rng& rng);
+
+  std::vector<TreeNode> nodes_;
+};
+
+/// Gradient-boosted regression trees, one chain per horizon step.
+class GbdtPredictor final : public Predictor {
+ public:
+  struct Config {
+    std::size_t num_trees = 30;
+    double learning_rate = 0.15;
+    RegressionTree::Config tree{4, 8, 0};
+    std::uint64_t seed = 97;
+  };
+
+  GbdtPredictor() = default;
+  explicit GbdtPredictor(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "GBDT"; }
+  void fit(const traces::Dataset& ds, std::span<const traces::Window* const> train,
+           std::span<const traces::Window* const> val) override;
+  [[nodiscard]] std::vector<double> predict(const traces::Window& w) const override;
+
+ private:
+  Config config_{};
+  std::vector<double> base_;                        ///< per-horizon mean
+  std::vector<std::vector<RegressionTree>> chains_; ///< [horizon][tree]
+};
+
+/// Random forest (bootstrap-aggregated trees), one forest per horizon.
+class RandomForestPredictor final : public Predictor {
+ public:
+  struct Config {
+    std::size_t num_trees = 15;
+    RegressionTree::Config tree{8, 4, 0};
+    std::uint64_t seed = 131;
+  };
+
+  RandomForestPredictor() = default;
+  explicit RandomForestPredictor(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "RF"; }
+  void fit(const traces::Dataset& ds, std::span<const traces::Window* const> train,
+           std::span<const traces::Window* const> val) override;
+  [[nodiscard]] std::vector<double> predict(const traces::Window& w) const override;
+
+ private:
+  Config config_{};
+  std::vector<std::vector<RegressionTree>> forests_;  ///< [horizon][tree]
+};
+
+/// Flatten a window into the single feature vector the tree models use.
+[[nodiscard]] std::vector<double> flatten_window(const traces::Window& w);
+
+}  // namespace ca5g::predictors

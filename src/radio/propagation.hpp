@@ -1,0 +1,32 @@
+// Radio propagation models (simplified 3GPP TR 38.901): distance- and
+// frequency-dependent path loss per environment, outdoor-to-indoor
+// penetration (frequency dependent — the reason the paper's OpZ uses
+// FDD low-band n71 as indoor PCell, Fig. 28), and thermal noise.
+#pragma once
+
+namespace ca5g::radio {
+
+/// Deployment environment for path-loss selection.
+enum class Environment { kUrbanMacro, kSuburbanMacro, kHighway, kIndoor };
+
+/// 2D position in metres. Routes and cell sites share this plane.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+[[nodiscard]] double distance_m(const Position& a, const Position& b) noexcept;
+
+/// Path loss in dB for a link of `dist_m` metres at `freq_mhz`.
+/// Uses UMa-style log-distance curves with environment-specific exponents;
+/// mmWave frequencies incur their steeper FR2 curve.
+[[nodiscard]] double path_loss_db(double freq_mhz, double dist_m, Environment env);
+
+/// Outdoor-to-indoor penetration loss in dB. Low-band (<1 GHz) penetrates
+/// walls far better than mid-band; mmWave is effectively blocked.
+[[nodiscard]] double o2i_penetration_db(double freq_mhz);
+
+/// Thermal noise power over `bandwidth_hz` including a UE noise figure.
+[[nodiscard]] double noise_power_dbm(double bandwidth_hz, double noise_figure_db = 7.0);
+
+}  // namespace ca5g::radio

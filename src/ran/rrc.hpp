@@ -1,0 +1,32 @@
+// RRC signaling events surfaced by the CA manager. The paper's Prism5G
+// consumes exactly these events ("Signaling: Radio Resource Control CA
+// Events", Table 3) to build the binary activation mask.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ran/deployment.hpp"
+
+namespace ca5g::ran {
+
+/// Types of CA-related RRC signaling events.
+enum class RrcEventType : std::uint8_t {
+  kPCellChange,   ///< handover / PCell reselection
+  kSCellAdd,      ///< secondary cell activated
+  kSCellRemove,   ///< secondary cell deactivated
+  kRatChange,     ///< technology fallback/upgrade (e.g. 5G → 4G)
+};
+
+[[nodiscard]] std::string rrc_event_name(RrcEventType type);
+
+/// One logged signaling event.
+struct RrcEvent {
+  double time_s = 0.0;
+  RrcEventType type = RrcEventType::kSCellAdd;
+  CarrierId carrier = 0;
+};
+
+using RrcEventLog = std::vector<RrcEvent>;
+
+}  // namespace ca5g::ran

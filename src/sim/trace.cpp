@@ -1,0 +1,118 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ca5g::sim {
+
+std::size_t TraceSample::active_cc_count() const {
+  std::size_t n = 0;
+  for (const auto& cc : ccs)
+    if (cc.active) ++n;
+  return n;
+}
+
+std::vector<double> Trace::aggregate_series() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.aggregate_tput_mbps);
+  return out;
+}
+
+std::vector<double> Trace::cc_series(std::size_t slot) const {
+  CA5G_CHECK_MSG(slot < cc_slots, "CC slot out of range: " << slot);
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples)
+    out.push_back(slot < s.ccs.size() ? s.ccs[slot].tput_mbps : 0.0);
+  return out;
+}
+
+std::vector<double> Trace::cc_count_series() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(static_cast<double>(s.active_cc_count()));
+  return out;
+}
+
+Trace Trace::resampled(double new_step_s) const {
+  CA5G_CHECK_MSG(new_step_s >= step_s, "resampling must coarsen the trace");
+  const auto factor = static_cast<std::size_t>(std::llround(new_step_s / step_s));
+  CA5G_CHECK_MSG(factor >= 1, "bad resampling factor");
+
+  Trace out;
+  out.op = op;
+  out.env = env;
+  out.mobility = mobility;
+  out.modem = modem;
+  out.step_s = new_step_s;
+  out.cc_slots = cc_slots;
+
+  for (std::size_t start = 0; start + factor <= samples.size(); start += factor) {
+    TraceSample agg = samples[start];  // positions/identities from window start
+    agg.aggregate_tput_mbps = 0.0;
+    std::vector<double> cc_sums(cc_slots, 0.0);
+    std::vector<std::size_t> cc_counts(cc_slots, 0);
+    agg.events.clear();
+    // Numeric features: average over the window; events: union.
+    std::vector<CcSample> averaged(cc_slots);
+    for (std::size_t slot = 0; slot < cc_slots; ++slot) averaged[slot] = samples[start].ccs[slot];
+    std::vector<double> rsrp(cc_slots, 0), rsrq(cc_slots, 0), sinr(cc_slots, 0),
+        cqi(cc_slots, 0), rb(cc_slots, 0), layers(cc_slots, 0), mcs(cc_slots, 0),
+        bler(cc_slots, 0);
+    for (std::size_t i = start; i < start + factor; ++i) {
+      const TraceSample& s = samples[i];
+      agg.aggregate_tput_mbps += s.aggregate_tput_mbps;
+      for (const auto& e : s.events) agg.events.push_back(e);
+      for (std::size_t slot = 0; slot < cc_slots && slot < s.ccs.size(); ++slot) {
+        const CcSample& cc = s.ccs[slot];
+        cc_sums[slot] += cc.tput_mbps;
+        if (cc.active) {
+          ++cc_counts[slot];
+          rsrp[slot] += cc.rsrp_dbm;
+          rsrq[slot] += cc.rsrq_db;
+          sinr[slot] += cc.sinr_db;
+          cqi[slot] += cc.cqi;
+          rb[slot] += cc.rb;
+          layers[slot] += cc.layers;
+          mcs[slot] += cc.mcs;
+          bler[slot] += cc.bler;
+          // Identity fields from the last active step in the window.
+          averaged[slot].band = cc.band;
+          averaged[slot].bandwidth_mhz = cc.bandwidth_mhz;
+          averaged[slot].pci = cc.pci;
+          averaged[slot].channel_index = cc.channel_index;
+          averaged[slot].carrier = cc.carrier;
+          averaged[slot].is_pcell = cc.is_pcell;
+        }
+      }
+    }
+    agg.aggregate_tput_mbps /= static_cast<double>(factor);
+    for (std::size_t slot = 0; slot < cc_slots; ++slot) {
+      CcSample& cc = averaged[slot];
+      cc.tput_mbps = cc_sums[slot] / static_cast<double>(factor);
+      const auto n = cc_counts[slot];
+      cc.active = n * 2 >= factor;  // active for the majority of the window
+      if (n > 0) {
+        const auto dn = static_cast<double>(n);
+        cc.rsrp_dbm = rsrp[slot] / dn;
+        cc.rsrq_db = rsrq[slot] / dn;
+        cc.sinr_db = sinr[slot] / dn;
+        cc.cqi = static_cast<int>(std::lround(cqi[slot] / dn));
+        cc.rb = static_cast<int>(std::lround(rb[slot] / dn));
+        cc.layers = static_cast<int>(std::lround(layers[slot] / dn));
+        cc.mcs = static_cast<int>(std::lround(mcs[slot] / dn));
+        cc.bler = bler[slot] / dn;
+      } else {
+        cc = CcSample{};
+      }
+    }
+    agg.ccs = std::move(averaged);
+    out.samples.push_back(std::move(agg));
+  }
+  return out;
+}
+
+}  // namespace ca5g::sim

@@ -1,0 +1,71 @@
+// Trace data model: what the measurement tool (XCAL in the paper)
+// records. One TraceSample per time step, each holding per-CC PHY
+// observations following the paper's Table 12 feature schema, the RRC
+// events of the step, and the aggregate throughput.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "phy/band.hpp"
+#include "radio/propagation.hpp"
+#include "ran/deployment.hpp"
+#include "ran/rrc.hpp"
+#include "ue/capability.hpp"
+
+namespace ca5g::sim {
+
+/// Observation of one component carrier at one time step (Table 12).
+struct CcSample {
+  bool active = false;
+  bool is_pcell = false;
+  ran::CarrierId carrier = 0;
+  phy::BandId band = phy::BandId::kN41;
+  int bandwidth_mhz = 0;
+  int pci = 0;
+  int channel_index = 0;
+  double rsrp_dbm = -140.0;
+  double rsrq_db = -20.0;
+  double sinr_db = -15.0;
+  int cqi = 0;
+  int rb = 0;
+  int layers = 0;
+  int mcs = 0;
+  double bler = 0.0;
+  double tput_mbps = 0.0;
+};
+
+/// One recorded time step.
+struct TraceSample {
+  double time_s = 0.0;
+  double hour_of_day = 0.0;
+  radio::Position pos;
+  std::vector<ran::RrcEvent> events;  ///< RRC events fired in this step
+  std::vector<CcSample> ccs;          ///< fixed-size CC slots (inactive zeroed)
+  double aggregate_tput_mbps = 0.0;
+
+  [[nodiscard]] std::size_t active_cc_count() const;
+};
+
+/// A full measurement run.
+struct Trace {
+  ran::OperatorId op = ran::OperatorId::kOpZ;
+  radio::Environment env = radio::Environment::kUrbanMacro;
+  std::string mobility;  ///< "stationary" / "walking" / "driving"
+  ue::ModemModel modem = ue::ModemModel::kX70;
+  double step_s = 0.01;
+  std::size_t cc_slots = 4;
+  std::vector<TraceSample> samples;
+
+  /// Aggregate throughput series in Mbps.
+  [[nodiscard]] std::vector<double> aggregate_series() const;
+  /// Per-slot throughput series for CC slot `slot`.
+  [[nodiscard]] std::vector<double> cc_series(std::size_t slot) const;
+  /// Series of active CC counts.
+  [[nodiscard]] std::vector<double> cc_count_series() const;
+
+  /// Downsample to a coarser step by averaging (e.g. 10 ms → 1 s).
+  [[nodiscard]] Trace resampled(double new_step_s) const;
+};
+
+}  // namespace ca5g::sim

@@ -1,0 +1,127 @@
+#include "sim/trace_io.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ca5g::sim {
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+common::CsvDocument trace_to_csv(const Trace& trace) {
+  common::CsvDocument doc;
+  doc.header = {"time_s", "hour", "op", "env", "mobility", "modem", "step_s",
+                "cc_slots", "pos_x", "pos_y", "event", "agg_tput_mbps"};
+  for (std::size_t slot = 0; slot < trace.cc_slots; ++slot) {
+    const std::string p = "cc" + std::to_string(slot) + "_";
+    for (const char* field : {"active", "pcell", "band", "chan", "bw", "pci", "rsrp",
+                              "rsrq", "sinr", "cqi", "bler", "rb", "layers", "mcs",
+                              "tput"})
+      doc.header.push_back(p + field);
+  }
+
+  for (const auto& s : trace.samples) {
+    std::vector<std::string> row = {
+        fmt(s.time_s),
+        fmt(s.hour_of_day),
+        std::to_string(static_cast<int>(trace.op)),
+        std::to_string(static_cast<int>(trace.env)),
+        trace.mobility,
+        std::to_string(static_cast<int>(trace.modem)),
+        fmt(trace.step_s),
+        std::to_string(trace.cc_slots),
+        fmt(s.pos.x),
+        fmt(s.pos.y),
+        std::to_string(s.events.empty() ? 0 : 1),
+        fmt(s.aggregate_tput_mbps),
+    };
+    for (std::size_t slot = 0; slot < trace.cc_slots; ++slot) {
+      const CcSample& cc = slot < s.ccs.size() ? s.ccs[slot] : CcSample{};
+      row.push_back(cc.active ? "1" : "0");
+      row.push_back(cc.is_pcell ? "1" : "0");
+      row.push_back(std::to_string(static_cast<int>(cc.band)));
+      row.push_back(std::to_string(cc.channel_index));
+      row.push_back(std::to_string(cc.bandwidth_mhz));
+      row.push_back(std::to_string(cc.pci));
+      row.push_back(fmt(cc.rsrp_dbm));
+      row.push_back(fmt(cc.rsrq_db));
+      row.push_back(fmt(cc.sinr_db));
+      row.push_back(std::to_string(cc.cqi));
+      row.push_back(fmt(cc.bler));
+      row.push_back(std::to_string(cc.rb));
+      row.push_back(std::to_string(cc.layers));
+      row.push_back(std::to_string(cc.mcs));
+      row.push_back(fmt(cc.tput_mbps));
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+Trace trace_from_csv(const common::CsvDocument& doc) {
+  Trace trace;
+  CA5G_CHECK_MSG(!doc.rows.empty(), "trace CSV has no data rows");
+
+  const auto& first = doc.rows.front();
+  trace.op = static_cast<ran::OperatorId>(std::stoi(first[doc.column("op")]));
+  trace.env = static_cast<radio::Environment>(std::stoi(first[doc.column("env")]));
+  trace.mobility = first[doc.column("mobility")];
+  trace.modem = static_cast<ue::ModemModel>(std::stoi(first[doc.column("modem")]));
+  trace.step_s = std::stod(first[doc.column("step_s")]);
+  trace.cc_slots = static_cast<std::size_t>(std::stoul(first[doc.column("cc_slots")]));
+
+  const auto time_col = doc.column("time_s");
+  const auto hour_col = doc.column("hour");
+  const auto x_col = doc.column("pos_x");
+  const auto y_col = doc.column("pos_y");
+  const auto event_col = doc.column("event");
+  const auto agg_col = doc.column("agg_tput_mbps");
+
+  for (const auto& row : doc.rows) {
+    TraceSample s;
+    s.time_s = std::stod(row[time_col]);
+    s.hour_of_day = std::stod(row[hour_col]);
+    s.pos = {std::stod(row[x_col]), std::stod(row[y_col])};
+    if (std::stoi(row[event_col]) != 0)
+      s.events.push_back({s.time_s, ran::RrcEventType::kSCellAdd, 0});  // flag only
+    s.aggregate_tput_mbps = std::stod(row[agg_col]);
+    s.ccs.assign(trace.cc_slots, CcSample{});
+    for (std::size_t slot = 0; slot < trace.cc_slots; ++slot) {
+      const std::string p = "cc" + std::to_string(slot) + "_";
+      CcSample& cc = s.ccs[slot];
+      cc.active = row[doc.column(p + "active")] == "1";
+      cc.is_pcell = row[doc.column(p + "pcell")] == "1";
+      cc.band = static_cast<phy::BandId>(std::stoi(row[doc.column(p + "band")]));
+      cc.channel_index = std::stoi(row[doc.column(p + "chan")]);
+      cc.bandwidth_mhz = std::stoi(row[doc.column(p + "bw")]);
+      cc.pci = std::stoi(row[doc.column(p + "pci")]);
+      cc.rsrp_dbm = std::stod(row[doc.column(p + "rsrp")]);
+      cc.rsrq_db = std::stod(row[doc.column(p + "rsrq")]);
+      cc.sinr_db = std::stod(row[doc.column(p + "sinr")]);
+      cc.cqi = std::stoi(row[doc.column(p + "cqi")]);
+      cc.bler = std::stod(row[doc.column(p + "bler")]);
+      cc.rb = std::stoi(row[doc.column(p + "rb")]);
+      cc.layers = std::stoi(row[doc.column(p + "layers")]);
+      cc.mcs = std::stoi(row[doc.column(p + "mcs")]);
+      cc.tput_mbps = std::stod(row[doc.column(p + "tput")]);
+    }
+    trace.samples.push_back(std::move(s));
+  }
+  return trace;
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  common::save_csv(trace_to_csv(trace), path);
+}
+
+Trace load_trace(const std::string& path) { return trace_from_csv(common::load_csv(path)); }
+
+}  // namespace ca5g::sim

@@ -1,0 +1,24 @@
+// CSV serialization of traces in the paper's Table 12 field layout:
+// per-CC blocks of (band, rsrp, rsrq, sinr, cqi, bler, rb, layers, mcs,
+// tput, active, pcell, event) plus timestamp and aggregate throughput.
+// Round-trips through parse so datasets can be archived and re-loaded.
+#pragma once
+
+#include <string>
+
+#include "common/csv.hpp"
+#include "sim/trace.hpp"
+
+namespace ca5g::sim {
+
+/// Serialize a trace to an in-memory CSV document.
+[[nodiscard]] common::CsvDocument trace_to_csv(const Trace& trace);
+
+/// Parse a trace back from CSV (metadata columns restore op/env/etc.).
+[[nodiscard]] Trace trace_from_csv(const common::CsvDocument& doc);
+
+/// File convenience wrappers.
+void save_trace(const Trace& trace, const std::string& path);
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+}  // namespace ca5g::sim

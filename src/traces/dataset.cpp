@@ -1,0 +1,182 @@
+#include "traces/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ca5g::traces {
+namespace {
+
+/// Fixed-range normalizations for PHY quantities (known physical ranges,
+/// keeps features comparable across datasets).
+double norm_rsrp(double dbm) { return std::clamp((dbm + 140.0) / 70.0, 0.0, 1.0); }
+double norm_rsrq(double db) { return std::clamp((db + 20.0) / 15.0, 0.0, 1.0); }
+double norm_sinr(double db) { return std::clamp((db + 15.0) / 50.0, 0.0, 1.0); }
+
+std::vector<double> cc_features(const sim::CcSample& cc, double tput_scale) {
+  std::vector<double> f(kCcFeatureDim, 0.0);
+  if (!cc.active) return f;  // inactive slots are zeroed, as in the paper's mask
+  f[kFeatActive] = 1.0;
+  f[kFeatPcell] = cc.is_pcell ? 1.0 : 0.0;
+  f[kFeatBand] = (static_cast<double>(cc.band) + 1.0) / (phy::kBandCount + 1.0);
+  f[kFeatBandwidth] = cc.bandwidth_mhz / 100.0;
+  f[kFeatRsrp] = norm_rsrp(cc.rsrp_dbm);
+  f[kFeatRsrq] = norm_rsrq(cc.rsrq_db);
+  f[kFeatSinr] = norm_sinr(cc.sinr_db);
+  f[kFeatCqi] = cc.cqi / 15.0;
+  f[kFeatBler] = std::clamp(cc.bler, 0.0, 1.0);
+  f[kFeatRb] = cc.rb / 273.0;
+  f[kFeatLayers] = cc.layers / 4.0;
+  f[kFeatMcs] = cc.mcs / 27.0;
+  f[kFeatTput] = cc.tput_mbps / tput_scale;
+  return f;
+}
+
+}  // namespace
+
+Window build_window(const std::vector<sim::TraceSample>& samples, std::size_t start,
+                    const DatasetSpec& spec, std::size_t cc_slots, double tput_scale_mbps,
+                    bool allow_short_target) {
+  CA5G_CHECK_MSG(start + spec.history <= samples.size(), "window history out of range");
+  if (!allow_short_target)
+    CA5G_CHECK_MSG(start + spec.history + spec.horizon <= samples.size(),
+                   "window target out of range");
+
+  Window w;
+  w.cc_feat.reserve(spec.history);
+  for (std::size_t t = 0; t < spec.history; ++t) {
+    const auto& s = samples[start + t];
+    std::vector<std::vector<double>> step_feat;
+    std::vector<double> step_mask;
+    step_feat.reserve(cc_slots);
+    for (std::size_t c = 0; c < cc_slots; ++c) {
+      const sim::CcSample& cc = c < s.ccs.size() ? s.ccs[c] : sim::CcSample{};
+      step_feat.push_back(cc_features(cc, tput_scale_mbps));
+      step_mask.push_back(cc.active ? 1.0 : 0.0);
+    }
+    w.cc_feat.push_back(std::move(step_feat));
+    w.mask.push_back(std::move(step_mask));
+    w.global.push_back({s.events.empty() ? 0.0 : 1.0,
+                        static_cast<double>(s.active_cc_count()) /
+                            static_cast<double>(cc_slots)});
+    w.agg_history.push_back(s.aggregate_tput_mbps / tput_scale_mbps);
+  }
+  const std::size_t horizon_avail =
+      std::min(spec.horizon, samples.size() - start - spec.history);
+  for (std::size_t h = 0; h < horizon_avail; ++h) {
+    const auto& s = samples[start + spec.history + h];
+    w.target.push_back(s.aggregate_tput_mbps / tput_scale_mbps);
+    std::vector<double> cc_t(cc_slots, 0.0);
+    for (std::size_t c = 0; c < cc_slots && c < s.ccs.size(); ++c)
+      cc_t[c] = s.ccs[c].tput_mbps / tput_scale_mbps;
+    w.cc_target.push_back(std::move(cc_t));
+  }
+  return w;
+}
+
+Dataset Dataset::from_traces(const std::vector<sim::Trace>& traces,
+                             const DatasetSpec& spec) {
+  CA5G_CHECK_MSG(!traces.empty(), "dataset from no traces");
+  CA5G_CHECK_MSG(spec.history >= 1 && spec.horizon >= 1 && spec.stride >= 1,
+                 "bad dataset spec");
+
+  Dataset ds;
+  ds.spec_ = spec;
+  ds.cc_slots_ = traces.front().cc_slots;
+  ds.trace_count_ = traces.size();
+
+  // Normalization scale: dataset-wide max aggregate throughput (min–max
+  // with min = 0, matching the paper's min–max scaler on throughput).
+  double max_tput = 1.0;
+  for (const auto& trace : traces) {
+    CA5G_CHECK_MSG(trace.cc_slots == ds.cc_slots_, "traces disagree on cc_slots");
+    for (const auto& s : trace.samples) max_tput = std::max(max_tput, s.aggregate_tput_mbps);
+  }
+  ds.tput_scale_mbps_ = max_tput;
+
+  for (std::size_t trace_id = 0; trace_id < traces.size(); ++trace_id) {
+    const auto& samples = traces[trace_id].samples;
+    if (samples.size() < spec.history + spec.horizon) continue;
+    for (std::size_t start = 0; start + spec.history + spec.horizon <= samples.size();
+         start += spec.stride) {
+      Window w = build_window(samples, start, spec, ds.cc_slots_, max_tput);
+      w.trace_id = trace_id;
+      ds.windows_.push_back(std::move(w));
+    }
+  }
+  CA5G_CHECK_MSG(!ds.windows_.empty(), "dataset produced no windows");
+  return ds;
+}
+
+std::vector<double> Dataset::flatten_step(const Window& w, std::size_t t) {
+  CA5G_CHECK_MSG(t < w.cc_feat.size(), "flatten_step index out of range");
+  std::vector<double> flat;
+  flat.reserve(w.cc_feat[t].size() * kCcFeatureDim + kGlobalFeatureDim + 1);
+  for (const auto& cc : w.cc_feat[t]) flat.insert(flat.end(), cc.begin(), cc.end());
+  flat.insert(flat.end(), w.global[t].begin(), w.global[t].end());
+  flat.push_back(w.agg_history[t]);
+  return flat;
+}
+
+Dataset::Split Dataset::random_split(double train_frac, double val_frac,
+                                     common::Rng& rng) const {
+  CA5G_CHECK_MSG(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0,
+                 "bad split fractions");
+  std::vector<std::size_t> idx(windows_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+
+  const auto n_train = static_cast<std::size_t>(train_frac * static_cast<double>(idx.size()));
+  const auto n_val = static_cast<std::size_t>(val_frac * static_cast<double>(idx.size()));
+  Split split;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const Window* w = &windows_[idx[i]];
+    if (i < n_train)
+      split.train.push_back(w);
+    else if (i < n_train + n_val)
+      split.val.push_back(w);
+    else
+      split.test.push_back(w);
+  }
+  CA5G_CHECK_MSG(!split.train.empty() && !split.test.empty(), "degenerate split");
+  return split;
+}
+
+Dataset::Split Dataset::trace_split(double train_traces_frac, double val_frac,
+                                    common::Rng& rng) const {
+  CA5G_CHECK_MSG(train_traces_frac > 0.0 && train_traces_frac < 1.0, "bad trace split");
+  std::vector<std::size_t> trace_ids(trace_count_);
+  for (std::size_t i = 0; i < trace_ids.size(); ++i) trace_ids[i] = i;
+  rng.shuffle(trace_ids);
+  const auto n_train_traces = std::max<std::size_t>(
+      1, static_cast<std::size_t>(train_traces_frac * static_cast<double>(trace_count_)));
+  std::vector<bool> is_train_trace(trace_count_, false);
+  for (std::size_t i = 0; i < n_train_traces; ++i) is_train_trace[trace_ids[i]] = true;
+
+  Split split;
+  for (const auto& w : windows_) {
+    if (is_train_trace[w.trace_id]) {
+      split.train.push_back(&w);
+    } else {
+      split.test.push_back(&w);
+    }
+  }
+  // Carve validation windows out of the training traces.
+  const auto n_val = static_cast<std::size_t>(val_frac * static_cast<double>(split.train.size()));
+  std::vector<std::size_t> idx(split.train.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  std::vector<const Window*> new_train;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (i < n_val)
+      split.val.push_back(split.train[idx[i]]);
+    else
+      new_train.push_back(split.train[idx[i]]);
+  }
+  split.train = std::move(new_train);
+  CA5G_CHECK_MSG(!split.train.empty() && !split.test.empty(), "degenerate trace split");
+  return split;
+}
+
+}  // namespace ca5g::traces

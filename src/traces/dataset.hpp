@@ -1,0 +1,121 @@
+// ML dataset construction from traces, following the paper's §6.1 setup:
+// sliding windows of T=10 history steps and H=10 future steps, min–max
+// normalized features, random 0.5/0.2/0.3 train/val/test splits, and the
+// trace-level splits used for the generalizability study (Table 14).
+//
+// Per-CC features follow Table 12: activation mask, PCell flag, band &
+// bandwidth encodings, ssRSRP, ssRSRQ, SINR, CQI, BLER, #RB, #Layers,
+// MCS, and historical per-CC throughput.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace ca5g::traces {
+
+/// Number of normalized features per component carrier per time step.
+inline constexpr std::size_t kCcFeatureDim = 13;
+/// Global (non-per-CC) features per time step: RRC event flag, CC count.
+inline constexpr std::size_t kGlobalFeatureDim = 2;
+
+/// Index meanings inside a CC feature vector.
+enum CcFeature : std::size_t {
+  kFeatActive = 0,
+  kFeatPcell,
+  kFeatBand,
+  kFeatBandwidth,
+  kFeatRsrp,
+  kFeatRsrq,
+  kFeatSinr,
+  kFeatCqi,
+  kFeatBler,
+  kFeatRb,
+  kFeatLayers,
+  kFeatMcs,
+  kFeatTput,
+};
+
+/// One training window: T history steps and H future (target) steps.
+struct Window {
+  /// [T][C][kCcFeatureDim] normalized per-CC features.
+  std::vector<std::vector<std::vector<double>>> cc_feat;
+  /// [T][C] binary activation mask (the paper's RRC-derived I).
+  std::vector<std::vector<double>> mask;
+  /// [T][kGlobalFeatureDim] global features.
+  std::vector<std::vector<double>> global;
+  /// [T] normalized aggregate throughput history.
+  std::vector<double> agg_history;
+  /// [H] normalized aggregate throughput targets.
+  std::vector<double> target;
+  /// [H][C] normalized per-CC throughput targets.
+  std::vector<std::vector<double>> cc_target;
+  /// Which trace this window came from (for trace-level splits).
+  std::size_t trace_id = 0;
+};
+
+/// Windowing parameters (paper: input length 10, output length 10).
+struct DatasetSpec {
+  std::size_t history = 10;
+  std::size_t horizon = 10;
+  std::size_t stride = 1;
+};
+
+/// Build one window from trace samples starting at `start` (history
+/// begins there; targets follow). Used by Dataset and by the QoE apps'
+/// streaming predictors. `allow_short_target` permits fewer than
+/// `spec.horizon` future samples (targets are truncated).
+[[nodiscard]] Window build_window(const std::vector<sim::TraceSample>& samples,
+                                  std::size_t start, const DatasetSpec& spec,
+                                  std::size_t cc_slots, double tput_scale_mbps,
+                                  bool allow_short_target = false);
+
+/// A normalized, windowed dataset plus its de-normalization scale.
+class Dataset {
+ public:
+  /// Build from traces. All traces must share cc_slots.
+  [[nodiscard]] static Dataset from_traces(const std::vector<sim::Trace>& traces,
+                                           const DatasetSpec& spec);
+
+  [[nodiscard]] const std::vector<Window>& windows() const noexcept { return windows_; }
+  [[nodiscard]] std::size_t cc_slots() const noexcept { return cc_slots_; }
+  [[nodiscard]] std::size_t history() const noexcept { return spec_.history; }
+  [[nodiscard]] std::size_t horizon() const noexcept { return spec_.horizon; }
+  /// Mbps value that normalizes to 1.0 (dataset max aggregate tput).
+  [[nodiscard]] double tput_scale_mbps() const noexcept { return tput_scale_mbps_; }
+  [[nodiscard]] std::size_t trace_count() const noexcept { return trace_count_; }
+
+  /// Flattened per-step feature vector (all CCs + globals + aggregate);
+  /// the representation baseline models consume.
+  [[nodiscard]] static std::vector<double> flatten_step(const Window& w, std::size_t t);
+  [[nodiscard]] std::size_t flat_dim() const noexcept {
+    return cc_slots_ * kCcFeatureDim + kGlobalFeatureDim + 1;
+  }
+
+  /// View of windows split into train/val/test.
+  struct Split {
+    std::vector<const Window*> train;
+    std::vector<const Window*> val;
+    std::vector<const Window*> test;
+  };
+
+  /// Random window-level split (paper default: 0.5/0.2/0.3).
+  [[nodiscard]] Split random_split(double train_frac, double val_frac,
+                                   common::Rng& rng) const;
+
+  /// Trace-level split: whole traces are assigned to train+val or test
+  /// (generalizability evaluation, Table 14).
+  [[nodiscard]] Split trace_split(double train_traces_frac, double val_frac,
+                                  common::Rng& rng) const;
+
+ private:
+  DatasetSpec spec_;
+  std::size_t cc_slots_ = 4;
+  std::size_t trace_count_ = 0;
+  double tput_scale_mbps_ = 1.0;
+  std::vector<Window> windows_;
+};
+
+}  // namespace ca5g::traces

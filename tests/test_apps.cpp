@@ -1,0 +1,189 @@
+// Tests for the QoE applications: estimators, ViVo, and MPC ABR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/abr.hpp"
+#include "apps/vivo.hpp"
+#include "common/check.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace ca5g;
+using namespace ca5g::apps;
+
+/// Constant-throughput trace for exact QoE accounting checks.
+sim::Trace constant_trace(double mbps, std::size_t samples = 3000, double step = 0.01) {
+  sim::Trace trace;
+  trace.step_s = step;
+  trace.cc_slots = 4;
+  for (std::size_t i = 0; i < samples; ++i) {
+    sim::TraceSample s;
+    s.time_s = static_cast<double>(i) * step;
+    s.ccs.assign(4, sim::CcSample{});
+    s.ccs[0].active = true;
+    s.ccs[0].tput_mbps = mbps;
+    s.aggregate_tput_mbps = mbps;
+    trace.samples.push_back(std::move(s));
+  }
+  return trace;
+}
+
+TEST(Estimators, HistoryMeanAveragesRecentSamples) {
+  auto trace = constant_trace(100.0, 100);
+  for (std::size_t i = 90; i < 100; ++i) trace.samples[i].aggregate_tput_mbps = 200.0;
+  HistoryMeanEstimator est(10);
+  EXPECT_NEAR(est.estimate_mbps(trace, 100, 5), 200.0, 1e-9);
+  EXPECT_NEAR(est.estimate_mbps(trace, 50, 5), 100.0, 1e-9);
+}
+
+TEST(Estimators, HarmonicMeanBelowArithmetic) {
+  auto trace = constant_trace(100.0, 100);
+  trace.samples[95].aggregate_tput_mbps = 1.0;  // one deep dip
+  HarmonicMeanEstimator hm(10);
+  HistoryMeanEstimator am(10);
+  EXPECT_LT(hm.estimate_mbps(trace, 100, 5), am.estimate_mbps(trace, 100, 5));
+}
+
+TEST(Estimators, IdealReturnsActualFuture) {
+  auto trace = constant_trace(100.0, 100);
+  trace.samples[60].aggregate_tput_mbps = 500.0;
+  IdealEstimator ideal;
+  const auto series = ideal.predict_mbps(trace, 58, 5);
+  EXPECT_DOUBLE_EQ(series[2], 500.0);  // index 58+2 = 60
+  EXPECT_DOUBLE_EQ(series[0], 100.0);
+}
+
+TEST(Estimators, IdealClampsAtTraceEnd) {
+  const auto trace = constant_trace(100.0, 50);
+  IdealEstimator ideal;
+  const auto series = ideal.predict_mbps(trace, 48, 10);
+  EXPECT_EQ(series.size(), 10u);
+  for (double v : series) EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(Vivo, ConstantBandwidthPicksMatchingQuality) {
+  // 600 Mbps channel, 750 Mbps max ladder with 6 levels (125 Mbps per
+  // level): at safety 0.9 and deadline 1.5× the frame interval, ViVo can
+  // afford level ⌊0.9·600·0.15/ (750/6·0.1)⌋ → bitrate ≤ 810 Mb per s of
+  // frames... compute expectation directly instead:
+  const auto trace = constant_trace(600.0);
+  IdealEstimator ideal;
+  VivoConfig config;
+  const auto result = run_vivo(trace, ideal, config);
+  // Highest level L with (750·L/6)·0.1 ≤ 0.9·600·0.15 → L ≤ 6.48 → 6.
+  EXPECT_NEAR(result.avg_quality, 6.0, 0.01);
+  EXPECT_DOUBLE_EQ(result.stall_time_s, 0.0);
+  EXPECT_EQ(result.stalled_frames, 0u);
+}
+
+TEST(Vivo, LowBandwidthForcesLowQualityOrStalls) {
+  const auto trace = constant_trace(60.0);
+  IdealEstimator ideal;
+  VivoConfig config;
+  const auto result = run_vivo(trace, ideal, config);
+  EXPECT_LT(result.avg_quality, 1.5);
+}
+
+TEST(Vivo, OverestimationCausesStalls) {
+  // An estimator claiming 10× the real bandwidth forces deadline misses.
+  class Liar final : public ThroughputEstimator {
+   public:
+    std::string name() const override { return "Liar"; }
+    std::vector<double> predict_mbps(const sim::Trace&, std::size_t,
+                                     std::size_t horizon) const override {
+      return std::vector<double>(std::max<std::size_t>(horizon, 1), 3000.0);
+    }
+  };
+  const auto trace = constant_trace(150.0);
+  const auto result = run_vivo(trace, Liar{}, VivoConfig{});
+  EXPECT_GT(result.stalled_frames, result.frames / 2);
+  EXPECT_GT(result.stall_time_s, 0.0);
+}
+
+TEST(Vivo, IdealBeatsOrMatchesHistoryOnVolatileTrace) {
+  const auto trace = ca5g::test::synthetic_trace(3000);
+  IdealEstimator ideal;
+  HistoryMeanEstimator history(10);
+  const auto r_ideal = run_vivo(trace, ideal, VivoConfig{});
+  const auto r_hist = run_vivo(trace, history, VivoConfig{});
+  // The oracle never loses on both metrics simultaneously.
+  const bool worse_quality = r_ideal.avg_quality < r_hist.avg_quality - 0.2;
+  const bool worse_stalls = r_ideal.stall_time_s > r_hist.stall_time_s + 0.5;
+  EXPECT_FALSE(worse_quality && worse_stalls);
+  // QoE comparison helpers behave sensibly.
+  EXPECT_NEAR(r_ideal.quality_drop_pct(r_ideal), 0.0, 1e-9);
+  EXPECT_GE(r_hist.stall_increase_pct(r_ideal), -100.0);
+}
+
+TEST(Vivo, RejectsEmptyTrace) {
+  sim::Trace empty;
+  empty.step_s = 0.01;
+  IdealEstimator ideal;
+  EXPECT_THROW((void)run_vivo(empty, ideal, VivoConfig{}), common::CheckError);
+}
+
+TEST(Abr, HighBandwidthStreamsTopBitrate) {
+  const auto trace = constant_trace(2000.0, 20000);
+  IdealEstimator ideal;
+  AbrConfig config;
+  config.total_chunks = 20;
+  const auto result = run_mpc_abr(trace, ideal, config);
+  EXPECT_GT(result.avg_bitrate_mbps, 500.0);  // mostly 585 Mbps (16K)
+  EXPECT_LT(result.stall_time_s, 1.0);
+}
+
+TEST(Abr, LowBandwidthPicksSustainableBitrate) {
+  const auto trace = constant_trace(5.0, 20000);
+  IdealEstimator ideal;
+  AbrConfig config;
+  config.total_chunks = 15;
+  const auto result = run_mpc_abr(trace, ideal, config);
+  // 5 Mbps channel: 2.5 Mbps is sustainable, 40.71 is not.
+  EXPECT_LE(result.avg_bitrate_mbps, 10.0);
+  EXPECT_GE(result.avg_bitrate_mbps, 1.5);
+  EXPECT_LT(result.stall_time_s, 10.0);
+}
+
+TEST(Abr, OverestimationCausesStalls) {
+  class Liar final : public ThroughputEstimator {
+   public:
+    std::string name() const override { return "Liar"; }
+    std::vector<double> predict_mbps(const sim::Trace&, std::size_t,
+                                     std::size_t horizon) const override {
+      return std::vector<double>(std::max<std::size_t>(horizon, 1), 5000.0);
+    }
+  };
+  const auto trace = constant_trace(50.0, 20000);
+  AbrConfig config;
+  config.total_chunks = 15;
+  const auto liar = run_mpc_abr(trace, Liar{}, config);
+  IdealEstimator ideal;
+  const auto honest = run_mpc_abr(trace, ideal, config);
+  EXPECT_GT(liar.stall_time_s, honest.stall_time_s + 5.0);
+}
+
+TEST(Abr, ChunkAccounting) {
+  const auto trace = constant_trace(500.0, 20000);
+  IdealEstimator ideal;
+  AbrConfig config;
+  config.total_chunks = 12;
+  const auto result = run_mpc_abr(trace, ideal, config);
+  EXPECT_EQ(result.chunks, 12u);
+  // 500 Mbps sits between ladder steps (280 / 585): MPC may oscillate
+  // between the neighbours but must stay within that bracket.
+  EXPECT_GE(result.avg_bitrate_mbps, 280.0);
+  EXPECT_LE(result.avg_bitrate_mbps, 585.0);
+  EXPECT_LE(result.quality_switches, result.chunks / 2);
+}
+
+TEST(Abr, RejectsBadConfig) {
+  const auto trace = constant_trace(100.0, 100);
+  IdealEstimator ideal;
+  AbrConfig config;
+  config.bitrates_mbps.clear();
+  EXPECT_THROW((void)run_mpc_abr(trace, ideal, config), common::CheckError);
+}
+
+}  // namespace

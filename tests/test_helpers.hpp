@@ -1,0 +1,79 @@
+// Shared helpers for predictor tests: a fast, fully synthetic trace with
+// a learnable structure (periodic per-CC throughput plus CA on/off
+// square wave), avoiding full RAN simulation in unit tests.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "traces/dataset.hpp"
+
+namespace ca5g::test {
+
+/// Trace where cc0 carries a sinusoid and cc1 toggles with a square
+/// wave (a caricature of SCell add/remove); all PHY features are filled
+/// consistently so feature-based models can exploit them.
+inline sim::Trace synthetic_trace(std::size_t samples = 400, double phase = 0.0) {
+  sim::Trace trace;
+  trace.op = ran::OperatorId::kOpZ;
+  trace.mobility = "synthetic";
+  trace.step_s = 0.01;
+  trace.cc_slots = 4;
+  for (std::size_t i = 0; i < samples; ++i) {
+    sim::TraceSample s;
+    s.time_s = static_cast<double>(i) * trace.step_s;
+    s.ccs.assign(4, sim::CcSample{});
+
+    const double t = static_cast<double>(i) + phase;
+    sim::CcSample& cc0 = s.ccs[0];
+    cc0.active = true;
+    cc0.is_pcell = true;
+    cc0.band = phy::BandId::kN41;
+    cc0.bandwidth_mhz = 100;
+    cc0.rsrp_dbm = -85.0 + 10.0 * std::sin(t / 40.0);
+    cc0.rsrq_db = -10.0;
+    cc0.sinr_db = 20.0 + 8.0 * std::sin(t / 40.0);
+    cc0.cqi = 12;
+    cc0.rb = 200;
+    cc0.layers = 4;
+    cc0.mcs = 22;
+    cc0.tput_mbps = 500.0 + 280.0 * std::sin(t / 40.0);
+
+    const bool cc1_on = (static_cast<std::size_t>(t / 60.0) % 2) == 0;
+    if (cc1_on) {
+      sim::CcSample& cc1 = s.ccs[1];
+      cc1.active = true;
+      cc1.band = phy::BandId::kN25;
+      cc1.bandwidth_mhz = 20;
+      cc1.rsrp_dbm = -95.0;
+      cc1.rsrq_db = -12.0;
+      cc1.sinr_db = 12.0;
+      cc1.cqi = 9;
+      cc1.rb = 95;
+      cc1.layers = 1;
+      cc1.mcs = 16;
+      cc1.tput_mbps = 150.0;
+      // Mark the toggle step as an RRC event.
+      const bool prev_on = (static_cast<std::size_t>((t - 1.0) / 60.0) % 2) == 0;
+      if (!prev_on && i > 0)
+        s.events.push_back({s.time_s, ran::RrcEventType::kSCellAdd, 1});
+    }
+    s.aggregate_tput_mbps = 0.0;
+    for (const auto& cc : s.ccs) s.aggregate_tput_mbps += cc.tput_mbps;
+    trace.samples.push_back(std::move(s));
+  }
+  return trace;
+}
+
+inline traces::Dataset synthetic_dataset(std::size_t traces_count = 2,
+                                         std::size_t samples = 400) {
+  std::vector<sim::Trace> list;
+  for (std::size_t i = 0; i < traces_count; ++i)
+    list.push_back(synthetic_trace(samples, 17.0 * static_cast<double>(i)));
+  traces::DatasetSpec spec;
+  spec.stride = 3;
+  return traces::Dataset::from_traces(list, spec);
+}
+
+}  // namespace ca5g::test

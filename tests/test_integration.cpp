@@ -1,0 +1,150 @@
+// Cross-module integration tests: the full paper pipeline — simulate →
+// window → train → predict → drive applications — on small instances.
+#include <gtest/gtest.h>
+
+#include "apps/abr.hpp"
+#include "apps/vivo.hpp"
+#include "common/stats.hpp"
+#include "core/prism5g.hpp"
+#include "eval/pipeline.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+predictors::TrainConfig tiny_config() {
+  predictors::TrainConfig config;
+  config.epochs = 16;
+  config.hidden = 24;
+  config.layers = 1;
+  config.batch_size = 32;
+  return config;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::GenerationConfig gen;
+    gen.traces = 3;
+    gen.short_trace_duration_s = 20.0;
+    gen.short_stride = 6;
+    traces_ = new std::vector<sim::Trace>(eval::generate_traces(
+        {ran::OperatorId::kOpZ, sim::Mobility::kDriving}, eval::TimeScale::kShort, gen));
+    traces::DatasetSpec spec;
+    spec.stride = 6;
+    ds_ = new traces::Dataset(traces::Dataset::from_traces(*traces_, spec));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    delete traces_;
+    ds_ = nullptr;
+    traces_ = nullptr;
+  }
+  static std::vector<sim::Trace>* traces_;
+  static traces::Dataset* ds_;
+};
+
+std::vector<sim::Trace>* IntegrationTest::traces_ = nullptr;
+traces::Dataset* IntegrationTest::ds_ = nullptr;
+
+TEST_F(IntegrationTest, TraceStatisticsMatchPaperAnchors) {
+  // OpZ urban driving: hundreds of Mbps average, >1 Gbps peaks, heavy
+  // CC churn (paper §3, Fig. 7).
+  double peak = 0.0;
+  common::RunningStats means;
+  for (const auto& trace : *traces_) {
+    const auto agg = trace.aggregate_series();
+    peak = std::max(peak, common::max_value(agg));
+    means.add(common::mean(agg));
+  }
+  EXPECT_GT(means.mean(), 250.0);
+  EXPECT_GT(peak, 1000.0);
+  EXPECT_LT(peak, 3000.0);
+}
+
+TEST_F(IntegrationTest, TrainedModelBeatsUntrainedHeuristics) {
+  common::Rng rng(3);
+  const auto split = ds_->random_split(0.5, 0.2, rng);
+
+  core::Prism5G prism(tiny_config());
+  prism.fit(*ds_, split.train, split.val);
+  const double prism_rmse = predictors::evaluate_rmse(prism, split.test);
+
+  predictors::ProphetLitePredictor prophet;
+  prophet.fit(*ds_, split.train, split.val);
+  const double prophet_rmse = predictors::evaluate_rmse(prophet, split.test);
+
+  EXPECT_LT(prism_rmse, prophet_rmse);
+}
+
+TEST_F(IntegrationTest, ModelEstimatorDrivesVivo) {
+  common::Rng rng(4);
+  const auto split = ds_->random_split(0.5, 0.2, rng);
+  auto prism = std::make_shared<core::Prism5G>(tiny_config());
+  prism->fit(*ds_, split.train, split.val);
+
+  traces::DatasetSpec spec;  // history/horizon 10
+  apps::ModelEstimator estimator(prism, spec, ds_->cc_slots(), ds_->tput_scale_mbps());
+  apps::IdealEstimator ideal;
+  apps::VivoConfig config;
+
+  const auto& trace = traces_->front();
+  const auto r_model = apps::run_vivo(trace, estimator, config);
+  const auto r_ideal = apps::run_vivo(trace, ideal, config);
+  EXPECT_GT(r_model.frames, 100u);
+  // The trained model stays within a sane band of the oracle.
+  EXPECT_GT(r_model.avg_quality, 0.4 * r_ideal.avg_quality);
+}
+
+TEST_F(IntegrationTest, ModelEstimatorDrivesAbr) {
+  common::Rng rng(5);
+  const auto split = ds_->random_split(0.5, 0.2, rng);
+  auto prism = std::make_shared<core::Prism5G>(tiny_config());
+  prism->fit(*ds_, split.train, split.val);
+
+  traces::DatasetSpec spec;
+  apps::ModelEstimator estimator(prism, spec, ds_->cc_slots(), ds_->tput_scale_mbps());
+  apps::AbrConfig config;
+  config.total_chunks = 10;
+  const auto result = apps::run_mpc_abr(traces_->front(), estimator, config);
+  EXPECT_EQ(result.chunks, 10u);
+  EXPECT_GT(result.avg_bitrate_mbps, 1.0);
+}
+
+TEST_F(IntegrationTest, ColdStartEstimatorFallsBack) {
+  common::Rng rng(6);
+  const auto split = ds_->random_split(0.5, 0.2, rng);
+  auto prism = std::make_shared<core::Prism5G>(tiny_config());
+  prism->fit(*ds_, split.train, split.val);
+  traces::DatasetSpec spec;
+  apps::ModelEstimator estimator(prism, spec, ds_->cc_slots(), ds_->tput_scale_mbps());
+  // now < history → history-mean fallback, never throws.
+  const auto series = estimator.predict_mbps(traces_->front(), 3, 10);
+  EXPECT_EQ(series.size(), 10u);
+  for (double v : series) EXPECT_GE(v, 0.0);
+}
+
+TEST_F(IntegrationTest, MultimodalThroughputDistribution) {
+  // Fig. 2 of the paper: CA makes the throughput distribution
+  // multimodal because different CC counts occupy different throughput
+  // regimes. Verify the mechanism: conditional means separated by far
+  // more than the conditional spread.
+  std::vector<double> few_cc, many_cc;
+  for (const auto& trace : *traces_) {
+    for (const auto& s : trace.samples) {
+      if (s.active_cc_count() <= 1)
+        few_cc.push_back(s.aggregate_tput_mbps);
+      else if (s.active_cc_count() >= 3)
+        many_cc.push_back(s.aggregate_tput_mbps);
+    }
+  }
+  ASSERT_GT(many_cc.size(), 50u);
+  if (few_cc.size() > 50) {
+    EXPECT_GT(common::mean(many_cc), 2.0 * common::mean(few_cc));
+  } else {
+    // The drive stayed in CA coverage: distribution must still be wide.
+    EXPECT_GT(common::stddev(many_cc), 0.3 * common::mean(many_cc));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Unit tests for Adam and the min–max scaler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+
+namespace {
+
+using namespace ca5g::nn;
+using ca5g::common::Rng;
+
+TEST(Adam, MinimizesQuadratic) {
+  // Minimize ||x - 3||² over a 2×2 parameter.
+  Tensor x(2, 2, true);
+  const auto target = Tensor::constant(2, 2, 3.0f);
+  Adam::Config config;
+  config.lr = 0.1f;
+  Adam opt({x}, config);
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    auto loss = mse_loss(x, target);
+    loss.backward();
+    opt.step();
+  }
+  for (float v : x.values()) EXPECT_NEAR(v, 3.0f, 0.05f);
+}
+
+TEST(Adam, TrainsTinyRegressionNet) {
+  // Fit y = 2a − b with a linear layer.
+  Rng rng(1);
+  Linear layer(rng, 2, 1);
+  Adam::Config config;
+  config.lr = 0.05f;
+  Adam opt(layer.parameters(), config);
+  Rng data_rng(2);
+  for (int step = 0; step < 500; ++step) {
+    Tensor x(8, 2);
+    Tensor y(8, 1);
+    for (std::size_t r = 0; r < 8; ++r) {
+      const float a = static_cast<float>(data_rng.uniform(-1, 1));
+      const float b = static_cast<float>(data_rng.uniform(-1, 1));
+      x.set(r, 0, a);
+      x.set(r, 1, b);
+      y.set(r, 0, 2 * a - b);
+    }
+    opt.zero_grad();
+    auto loss = mse_loss(layer.forward(x), y);
+    loss.backward();
+    opt.step();
+  }
+  Tensor probe(1, 2);
+  probe.set(0, 0, 0.5f);
+  probe.set(0, 1, -0.25f);
+  EXPECT_NEAR(layer.forward(probe).at(0, 0), 1.25f, 0.05f);
+}
+
+TEST(Adam, GradientClippingBoundsUpdates) {
+  Tensor x(1, 1, true);
+  Adam::Config config;
+  config.lr = 1.0f;
+  config.clip_norm = 0.001f;
+  Adam opt({x}, config);
+  opt.zero_grad();
+  auto loss = scale(sum_all(x * x), 1000.0f);  // enormous gradient
+  loss.backward();
+  const float before = x.values()[0];
+  opt.step();
+  // Adam normalizes by sqrt(v); with clipping the step stays ≈ lr.
+  EXPECT_LT(std::abs(x.values()[0] - before), 1.5f);
+}
+
+TEST(Adam, RequiresParameters) {
+  EXPECT_THROW(Adam({}, Adam::Config{}), ca5g::common::CheckError);
+  Tensor no_grad(1, 1, false);
+  EXPECT_THROW(Adam({no_grad}, Adam::Config{}), ca5g::common::CheckError);
+}
+
+TEST(MinMaxScaler, TransformAndInverse) {
+  MinMaxScaler scaler;
+  scaler.fit({{0.0, 10.0}, {5.0, 20.0}, {10.0, 30.0}});
+  EXPECT_DOUBLE_EQ(scaler.transform(5.0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(scaler.transform(10.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scaler.inverse(0.5, 0), 5.0);
+  EXPECT_DOUBLE_EQ(scaler.inverse(1.0, 1), 30.0);
+  EXPECT_EQ(scaler.columns(), 2u);
+  const auto row = scaler.transform_row({2.5, 25.0});
+  EXPECT_DOUBLE_EQ(row[0], 0.25);
+  EXPECT_DOUBLE_EQ(row[1], 0.75);
+}
+
+TEST(MinMaxScaler, DegenerateColumnMapsToZero) {
+  MinMaxScaler scaler;
+  scaler.fit({{7.0}, {7.0}});
+  EXPECT_DOUBLE_EQ(scaler.transform(7.0), 0.0);
+}
+
+TEST(MinMaxScaler, SeriesFit) {
+  MinMaxScaler scaler;
+  const std::vector<double> series{1.0, 3.0, 5.0};
+  scaler.fit_series(series);
+  EXPECT_DOUBLE_EQ(scaler.transform(3.0), 0.5);
+}
+
+TEST(MinMaxScaler, ErrorsOnMisuse) {
+  MinMaxScaler scaler;
+  EXPECT_THROW(scaler.fit({}), ca5g::common::CheckError);
+  EXPECT_FALSE(scaler.fitted());
+  scaler.fit({{1.0, 2.0}});
+  EXPECT_THROW(scaler.transform(1.0, 5), ca5g::common::CheckError);
+  EXPECT_THROW(scaler.transform_row({1.0}), ca5g::common::CheckError);
+}
+
+}  // namespace

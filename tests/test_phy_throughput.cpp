@@ -1,0 +1,114 @@
+// End-to-end PHY throughput envelope tests: peak-rate sanity per band
+// class and parameterized monotonicity sweeps across the TBS pipeline —
+// the quantitative backbone behind Figs. 1/9/10.
+#include <gtest/gtest.h>
+
+#include "phy/band.hpp"
+#include "phy/mcs.hpp"
+#include "phy/numerology.hpp"
+#include "phy/tbs.hpp"
+
+namespace {
+
+using namespace ca5g::phy;
+
+/// Peak PHY rate for a (band, bandwidth, layers) triple at MCS 27 with a
+/// full RB allocation — the theoretical envelope of Appendix B.1.
+double peak_rate_gbps(BandId band, int bw_mhz, int scs_khz, int layers) {
+  const auto& info = band_info(band);
+  TbsParams p;
+  p.prb_count = max_resource_blocks(info.rat, bw_mhz, scs_khz);
+  p.symbols = 13;
+  p.mcs_index = kMaxMcsIndex;
+  p.mimo_layers = layers;
+  return slot_throughput_bps(p, scs_khz, info.duplex) / 1e9;
+}
+
+TEST(PhyEnvelope, N41_100MHz_FourLayers) {
+  // 100 MHz @30 kHz, 4 layers, 256QAM: ≈1.6–2.2 Gbps raw (before duty
+  // losses this band family is what lets OpZ peak at 1.7 Gbps with 4CC).
+  const double rate = peak_rate_gbps(BandId::kN41, 100, 30, 4);
+  EXPECT_GT(rate, 1.4);
+  EXPECT_LT(rate, 2.4);
+}
+
+TEST(PhyEnvelope, N25_20MHz_ThreeLayers) {
+  // The paper's n25: ≈212 Mbps measured alone → envelope must be above
+  // that but in the same order of magnitude.
+  const double rate = peak_rate_gbps(BandId::kN25, 20, 15, 3);
+  EXPECT_GT(rate, 0.25);
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST(PhyEnvelope, MmWaveSingleCc) {
+  // One n260 CC: ≈0.5–1 Gbps at 2 layers → 8 CCs ≈ 4–8 Gbps envelope,
+  // consistent with the paper's 4.1 Gbps measured peak.
+  const double rate = peak_rate_gbps(BandId::kN260, 100, 120, 2);
+  EXPECT_GT(rate, 0.5);
+  EXPECT_LT(rate, 1.3);
+}
+
+TEST(PhyEnvelope, Lte20MHzTwoLayers) {
+  // Classic LTE 20 MHz 2x2: ≈150–300 Mbps envelope.
+  const double rate = peak_rate_gbps(BandId::kB2, 20, 15, 2);
+  EXPECT_GT(rate, 0.12);
+  EXPECT_LT(rate, 0.35);
+}
+
+TEST(PhyEnvelope, FddBeatsTddAtSameBandwidthAndRank) {
+  // FDD dedicates the whole channel to DL; TDD pays the duty cycle.
+  const double fdd = peak_rate_gbps(BandId::kN25, 20, 15, 2);
+  const double tdd = peak_rate_gbps(BandId::kN41, 20, 15, 2);
+  EXPECT_GT(fdd, tdd);
+  EXPECT_NEAR(tdd / fdd, downlink_duty(Duplex::kTdd), 0.02);
+}
+
+/// Parameterized sweep: envelope grows with bandwidth for every FR1 SCS.
+class EnvelopeBandwidthSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EnvelopeBandwidthSweep, MonotoneInBandwidth) {
+  const int scs = std::get<0>(GetParam());
+  const int layers = std::get<1>(GetParam());
+  const std::vector<int> bws =
+      scs == 15 ? std::vector<int>{5, 10, 15, 20, 40} : std::vector<int>{20, 40, 60, 100};
+  double prev = 0.0;
+  for (int bw : bws) {
+    const double rate = peak_rate_gbps(BandId::kN41, bw, scs, layers);
+    EXPECT_GT(rate, prev) << "bw=" << bw;
+    prev = rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScsLayers, EnvelopeBandwidthSweep,
+                         ::testing::Combine(::testing::Values(15, 30),
+                                            ::testing::Values(1, 2, 4)));
+
+/// Parameterized sweep: the CQI→MCS→BLER chain stays consistent across
+/// the whole SINR range (link adaptation never yields BLER > 50% when
+/// the MCS is chosen from the reported CQI).
+class LinkAdaptationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinkAdaptationSweep, ChosenMcsKeepsBlerBounded) {
+  const double sinr = -8.0 + static_cast<double>(GetParam());
+  const int cqi = cqi_from_sinr(sinr);
+  if (cqi == 0) return;  // no transmission
+  const int mcs = mcs_from_cqi(cqi);
+  EXPECT_LT(bler_estimate(sinr, mcs), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(SinrRange, LinkAdaptationSweep, ::testing::Range(0, 44));
+
+/// Aggregating CCs: the envelope of a combination is the sum of its
+/// parts — 4CC OpZ (n41-100 + n41-40 + n25-20 + n71-20) lands in the
+/// right regime for the paper's 1.7 Gbps peak after scheduler losses.
+TEST(PhyEnvelope, OpZFourCcCombination) {
+  const double total = peak_rate_gbps(BandId::kN41, 100, 30, 4) +
+                       peak_rate_gbps(BandId::kN41, 40, 30, 4) +
+                       peak_rate_gbps(BandId::kN25, 20, 15, 1) +
+                       peak_rate_gbps(BandId::kN71, 20, 15, 1);
+  EXPECT_GT(total, 2.0);  // envelope above the measured 1.7 Gbps peak
+  EXPECT_LT(total, 3.6);  // but not absurdly so
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Tests for parameter serialization and model save/load round trips.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/check.hpp"
+#include "core/prism5g.hpp"
+#include "nn/serialize.hpp"
+#include "predictors/deep.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace ca5g;
+using nn::Tensor;
+
+TEST(Serialize, BlobRoundTrip) {
+  common::Rng rng(1);
+  std::vector<Tensor> params{Tensor::randn(rng, 3, 4, 1.0f),
+                             Tensor::randn(rng, 1, 7, 1.0f)};
+  const auto blob = nn::serialize_parameters(params);
+
+  std::vector<Tensor> fresh{Tensor(3, 4, true), Tensor(1, 7, true)};
+  nn::deserialize_parameters(blob, fresh);
+  for (std::size_t i = 0; i < params.size(); ++i)
+    EXPECT_EQ(fresh[i].values(), params[i].values());
+}
+
+TEST(Serialize, DetectsCorruption) {
+  common::Rng rng(2);
+  std::vector<Tensor> params{Tensor::randn(rng, 2, 2, 1.0f)};
+  auto blob = nn::serialize_parameters(params);
+
+  // Wrong magic.
+  auto bad_magic = blob;
+  bad_magic[0] ^= 0xFF;
+  std::vector<Tensor> target{Tensor(2, 2, true)};
+  EXPECT_THROW(nn::deserialize_parameters(bad_magic, target), common::CheckError);
+
+  // Truncated payload.
+  auto truncated = blob;
+  truncated.resize(truncated.size() - 4);
+  EXPECT_THROW(nn::deserialize_parameters(truncated, target), common::CheckError);
+
+  // Shape mismatch.
+  std::vector<Tensor> wrong_shape{Tensor(4, 1, true)};
+  EXPECT_THROW(nn::deserialize_parameters(blob, wrong_shape), common::CheckError);
+
+  // Count mismatch.
+  std::vector<Tensor> wrong_count{Tensor(2, 2, true), Tensor(2, 2, true)};
+  EXPECT_THROW(nn::deserialize_parameters(blob, wrong_count), common::CheckError);
+}
+
+TEST(Serialize, FileRoundTripPreservesPredictions) {
+  const auto ds = ca5g::test::synthetic_dataset(1, 200);
+  common::Rng rng(3);
+  const auto split = ds.random_split(0.6, 0.15, rng);
+
+  predictors::TrainConfig config;
+  config.epochs = 6;
+  config.hidden = 12;
+  config.layers = 1;
+
+  predictors::LstmPredictor trained(config);
+  trained.fit(ds, split.train, split.val);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ca5g_model_test.bin").string();
+  trained.save(path);
+
+  predictors::LstmPredictor restored(config);
+  restored.load(ds, path);
+  for (std::size_t i = 0; i < std::min<std::size_t>(split.test.size(), 10); ++i) {
+    const auto a = trained.predict(*split.test[i]);
+    const auto b = restored.predict(*split.test[i]);
+    for (std::size_t h = 0; h < a.size(); ++h) EXPECT_FLOAT_EQ(a[h], b[h]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, PrismSaveLoad) {
+  const auto ds = ca5g::test::synthetic_dataset(1, 200);
+  common::Rng rng(4);
+  const auto split = ds.random_split(0.6, 0.15, rng);
+  predictors::TrainConfig config;
+  config.epochs = 4;
+  config.hidden = 12;
+  config.layers = 1;
+
+  core::Prism5G trained(config);
+  trained.fit(ds, split.train, split.val);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ca5g_prism_test.bin").string();
+  trained.save(path);
+
+  core::Prism5G restored(config);
+  restored.load(ds, path);
+  const auto a = trained.predict(*split.test.front());
+  const auto b = restored.predict(*split.test.front());
+  for (std::size_t h = 0; h < a.size(); ++h) EXPECT_FLOAT_EQ(a[h], b[h]);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, LoadMissingFileThrows) {
+  std::vector<Tensor> params{Tensor(1, 1, true)};
+  EXPECT_THROW(nn::load_parameters(params, "/nonexistent/model.bin"),
+               common::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,261 @@
+// ca5g — command-line front end to the library.
+//
+//   ca5g simulate  --op OpZ --env urban --mobility driving \
+//                  --duration 60 --seed 7 [--rat 4g|5g] [--out trace.csv]
+//   ca5g census    trace.csv
+//   ca5g evaluate  --op OpZ --mobility driving --scale short \
+//                  --model Prism5G [--save model.bin]
+//   ca5g qoe       --app vivo|abr --model Prism5G
+//
+// Every subcommand is deterministic for a given --seed.
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "apps/abr.hpp"
+#include "apps/vivo.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/pipeline.hpp"
+#include "sim/trace_io.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+/// Minimal --key value argument parser (flags require a value).
+std::map<std::string, std::string> parse_args(int argc, char** argv, int first) {
+  std::map<std::string, std::string> args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << key << "\n";
+      std::exit(2);
+    }
+    args[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string get(const std::map<std::string, std::string>& args, const std::string& key,
+                const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+ran::OperatorId parse_op(const std::string& name) {
+  if (name == "OpX") return ran::OperatorId::kOpX;
+  if (name == "OpY") return ran::OperatorId::kOpY;
+  if (name == "OpZ") return ran::OperatorId::kOpZ;
+  std::cerr << "unknown operator: " << name << " (use OpX/OpY/OpZ)\n";
+  std::exit(2);
+}
+
+radio::Environment parse_env(const std::string& name) {
+  if (name == "urban") return radio::Environment::kUrbanMacro;
+  if (name == "suburban") return radio::Environment::kSuburbanMacro;
+  if (name == "beltway" || name == "highway") return radio::Environment::kHighway;
+  if (name == "indoor") return radio::Environment::kIndoor;
+  std::cerr << "unknown environment: " << name << "\n";
+  std::exit(2);
+}
+
+sim::Mobility parse_mobility(const std::string& name) {
+  if (name == "stationary") return sim::Mobility::kStationary;
+  if (name == "walking") return sim::Mobility::kWalking;
+  if (name == "driving") return sim::Mobility::kDriving;
+  std::cerr << "unknown mobility: " << name << "\n";
+  std::exit(2);
+}
+
+void print_trace_summary(const sim::Trace& trace) {
+  const auto agg = trace.aggregate_series();
+  const auto ccs = trace.cc_count_series();
+  std::size_t events = 0;
+  for (const auto& s : trace.samples) events += s.events.size();
+  common::TextTable table("Trace summary");
+  table.set_header({"Metric", "Value"});
+  table.add_row({"samples", std::to_string(trace.samples.size())});
+  table.add_row({"step (s)", common::TextTable::num(trace.step_s, 3)});
+  table.add_row({"tput mean (Mbps)", common::TextTable::num(common::mean(agg), 1)});
+  table.add_row({"tput std (Mbps)", common::TextTable::num(common::stddev(agg), 1)});
+  table.add_row({"tput peak (Mbps)", common::TextTable::num(common::max_value(agg), 1)});
+  table.add_row({"CC count mean", common::TextTable::num(common::mean(ccs), 2)});
+  table.add_row({"CC count max", common::TextTable::num(common::max_value(ccs), 0)});
+  table.add_row({"RRC events", std::to_string(events)});
+  std::cout << table;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2);
+  sim::ScenarioConfig config;
+  config.op = parse_op(get(args, "op", "OpZ"));
+  config.env = parse_env(get(args, "env", "urban"));
+  config.ue_indoor = config.env == radio::Environment::kIndoor;
+  config.mobility = parse_mobility(get(args, "mobility", "driving"));
+  config.duration_s = std::stod(get(args, "duration", "60"));
+  config.step_s = std::stod(get(args, "step", "0.01"));
+  config.seed = std::stoull(get(args, "seed", "7"));
+  if (get(args, "rat", "5g") == "4g") {
+    config.rat = phy::Rat::kLte;
+    config.cc_slots = 5;
+  }
+
+  const auto trace = sim::run_scenario(config);
+  print_trace_summary(trace);
+  const auto out = get(args, "out", "");
+  if (!out.empty()) {
+    sim::save_trace(trace, out);
+    std::cout << "\nwrote " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_census(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: ca5g census <trace.csv>\n";
+    return 2;
+  }
+  const auto trace = sim::load_trace(argv[2]);
+  print_trace_summary(trace);
+
+  std::map<std::string, std::size_t> combos;
+  for (const auto& s : trace.samples) {
+    std::string combo;
+    for (const auto& cc : s.ccs) {
+      if (!cc.active) continue;
+      if (!combo.empty()) combo += "+";
+      combo += std::string(phy::band_info(cc.band).name);
+    }
+    if (!combo.empty()) ++combos[combo];
+  }
+  common::TextTable table("CA combination census");
+  table.set_header({"Combination", "Share(%)"});
+  for (const auto& [combo, count] : combos)
+    table.add_row(
+        {combo, common::TextTable::num(100.0 * count / trace.samples.size(), 1)});
+  std::cout << table;
+  return 0;
+}
+
+int cmd_evaluate(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2);
+  eval::SubDatasetId id;
+  id.op = parse_op(get(args, "op", "OpZ"));
+  id.mobility = parse_mobility(get(args, "mobility", "driving"));
+  const auto scale = get(args, "scale", "short") == "long" ? eval::TimeScale::kLong
+                                                           : eval::TimeScale::kShort;
+
+  std::cout << "Generating " << id.label() << " dataset at "
+            << eval::time_scale_name(scale) << "...\n";
+  const auto ds = eval::make_ml_dataset(id, scale, eval::GenerationConfig::from_env());
+  common::Rng rng(std::stoull(get(args, "seed", "42")));
+  const auto split = ds.random_split(0.5, 0.2, rng);
+
+  const auto model_name = get(args, "model", "Prism5G");
+  auto model = eval::make_predictor(model_name);
+  std::cout << "Training " << model->name() << " on " << split.train.size()
+            << " windows...\n";
+  const double rmse = eval::train_and_evaluate(*model, ds, split);
+  std::cout << model->name() << " test RMSE (normalized): "
+            << common::TextTable::num(rmse, 4) << "\n";
+
+  const auto save = get(args, "save", "");
+  if (!save.empty()) {
+    if (auto* deep = dynamic_cast<predictors::DeepPredictor*>(model.get())) {
+      deep->save(save);
+      std::cout << "model parameters saved to " << save << "\n";
+    } else {
+      std::cerr << "--save is only supported for deep models\n";
+      return 2;
+    }
+  }
+  return 0;
+}
+
+int cmd_qoe(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2);
+  const auto app = get(args, "app", "vivo");
+  const auto model_name = get(args, "model", "Prism5G");
+  const bool abr = app == "abr";
+
+  eval::SubDatasetId id{ran::OperatorId::kOpZ, sim::Mobility::kDriving};
+  const auto scale = abr ? eval::TimeScale::kLong : eval::TimeScale::kShort;
+  const auto ds = eval::make_ml_dataset(id, scale, eval::GenerationConfig::from_env());
+  common::Rng rng(std::stoull(get(args, "seed", "42")));
+  const auto split = ds.random_split(0.5, 0.2, rng);
+
+  std::cout << "Training " << model_name << "...\n";
+  std::shared_ptr<predictors::Predictor> model{eval::make_predictor(model_name)};
+  model->fit(ds, split.train, split.val);
+
+  auto session_gen = eval::GenerationConfig::from_env();
+  session_gen.seed += 31337;
+  session_gen.traces = 1;
+  const auto trace = eval::generate_traces(id, scale, session_gen).front();
+
+  traces::DatasetSpec spec;
+  apps::ModelEstimator estimator(model, spec, ds.cc_slots(), ds.tput_scale_mbps());
+  apps::IdealEstimator ideal;
+
+  if (abr) {
+    apps::AbrConfig config;
+    config.total_chunks = 40;
+    const auto r_model = apps::run_mpc_abr(trace, estimator, config);
+    const auto r_ideal = apps::run_mpc_abr(trace, ideal, config);
+    common::TextTable table("MPC ABR session QoE");
+    table.set_header({"Forecaster", "AvgBitrate(Mbps)", "Stall(s)"});
+    table.add_row({model->name(), common::TextTable::num(r_model.avg_bitrate_mbps, 1),
+                   common::TextTable::num(r_model.stall_time_s, 1)});
+    table.add_row({"Ideal", common::TextTable::num(r_ideal.avg_bitrate_mbps, 1),
+                   common::TextTable::num(r_ideal.stall_time_s, 1)});
+    std::cout << table;
+  } else {
+    apps::VivoConfig config;
+    config.max_bitrate_mbps = 750.0;
+    const auto r_model = apps::run_vivo(trace, estimator, config);
+    const auto r_ideal = apps::run_vivo(trace, ideal, config);
+    common::TextTable table("ViVo session QoE");
+    table.set_header({"Estimator", "AvgQuality", "Stall(s)"});
+    table.add_row({model->name(), common::TextTable::num(r_model.avg_quality, 2),
+                   common::TextTable::num(r_model.stall_time_s, 2)});
+    table.add_row({"Ideal", common::TextTable::num(r_ideal.avg_quality, 2),
+                   common::TextTable::num(r_ideal.stall_time_s, 2)});
+    std::cout << table;
+  }
+  return 0;
+}
+
+void usage() {
+  std::cout << "ca5g — CA-aware 5G throughput prediction toolkit\n\n"
+            << "subcommands:\n"
+            << "  simulate  --op OpX|OpY|OpZ --env urban|suburban|beltway|indoor\n"
+            << "            --mobility stationary|walking|driving --duration S\n"
+            << "            [--rat 4g|5g] [--step S] [--seed N] [--out trace.csv]\n"
+            << "  census    <trace.csv>\n"
+            << "  evaluate  --op .. --mobility .. --scale short|long\n"
+            << "            --model Prophet|LSTM|TCN|Lumos5G|GBDT|RF|Prism5G\n"
+            << "            [--save model.bin] [--seed N]\n"
+            << "  qoe       --app vivo|abr --model <name> [--seed N]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "simulate") return cmd_simulate(argc, argv);
+    if (command == "census") return cmd_census(argc, argv);
+    if (command == "evaluate") return cmd_evaluate(argc, argv);
+    if (command == "qoe") return cmd_qoe(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+  return 2;
+}
