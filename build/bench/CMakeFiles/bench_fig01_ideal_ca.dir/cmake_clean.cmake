@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_ideal_ca.dir/bench_fig01_ideal_ca.cpp.o"
+  "CMakeFiles/bench_fig01_ideal_ca.dir/bench_fig01_ideal_ca.cpp.o.d"
+  "bench_fig01_ideal_ca"
+  "bench_fig01_ideal_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_ideal_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

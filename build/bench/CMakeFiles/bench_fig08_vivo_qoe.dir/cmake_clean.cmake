@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_vivo_qoe.dir/bench_fig08_vivo_qoe.cpp.o"
+  "CMakeFiles/bench_fig08_vivo_qoe.dir/bench_fig08_vivo_qoe.cpp.o.d"
+  "bench_fig08_vivo_qoe"
+  "bench_fig08_vivo_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_vivo_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

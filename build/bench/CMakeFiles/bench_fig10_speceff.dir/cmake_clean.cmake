@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_speceff.dir/bench_fig10_speceff.cpp.o"
+  "CMakeFiles/bench_fig10_speceff.dir/bench_fig10_speceff.cpp.o.d"
+  "bench_fig10_speceff"
+  "bench_fig10_speceff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_speceff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_rb_throttle.dir/bench_fig15_rb_throttle.cpp.o"
+  "CMakeFiles/bench_fig15_rb_throttle.dir/bench_fig15_rb_throttle.cpp.o.d"
+  "bench_fig15_rb_throttle"
+  "bench_fig15_rb_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_rb_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

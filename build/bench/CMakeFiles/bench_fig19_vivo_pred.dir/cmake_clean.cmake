@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_vivo_pred.dir/bench_fig19_vivo_pred.cpp.o"
+  "CMakeFiles/bench_fig19_vivo_pred.dir/bench_fig19_vivo_pred.cpp.o.d"
+  "bench_fig19_vivo_pred"
+  "bench_fig19_vivo_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_vivo_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

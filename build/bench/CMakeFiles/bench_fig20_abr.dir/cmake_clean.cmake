@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_abr.dir/bench_fig20_abr.cpp.o"
+  "CMakeFiles/bench_fig20_abr.dir/bench_fig20_abr.cpp.o.d"
+  "bench_fig20_abr"
+  "bench_fig20_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

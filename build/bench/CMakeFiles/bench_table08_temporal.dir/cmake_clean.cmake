@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_temporal.dir/bench_table08_temporal.cpp.o"
+  "CMakeFiles/bench_table08_temporal.dir/bench_table08_temporal.cpp.o.d"
+  "bench_table08_temporal"
+  "bench_table08_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

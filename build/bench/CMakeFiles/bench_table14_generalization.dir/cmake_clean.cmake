@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_generalization.dir/bench_table14_generalization.cpp.o"
+  "CMakeFiles/bench_table14_generalization.dir/bench_table14_generalization.cpp.o.d"
+  "bench_table14_generalization"
+  "bench_table14_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_streaming.dir/abr_streaming.cpp.o"
+  "CMakeFiles/abr_streaming.dir/abr_streaming.cpp.o.d"
+  "abr_streaming"
+  "abr_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

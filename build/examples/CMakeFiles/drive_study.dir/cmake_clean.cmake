@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_study.dir/drive_study.cpp.o"
+  "CMakeFiles/drive_study.dir/drive_study.cpp.o.d"
+  "drive_study"
+  "drive_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/vivo_streaming.cpp" "examples/CMakeFiles/vivo_streaming.dir/vivo_streaming.cpp.o" "gcc" "examples/CMakeFiles/vivo_streaming.dir/vivo_streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ca5g_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ca5g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ca5g_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/ca5g_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ca5g_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/traces/CMakeFiles/ca5g_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/ca5g_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ca5g_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ue/CMakeFiles/ca5g_ue.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/ca5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ca5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

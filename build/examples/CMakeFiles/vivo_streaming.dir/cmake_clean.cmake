@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vivo_streaming.dir/vivo_streaming.cpp.o"
+  "CMakeFiles/vivo_streaming.dir/vivo_streaming.cpp.o.d"
+  "vivo_streaming"
+  "vivo_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vivo_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

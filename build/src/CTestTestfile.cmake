@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("phy")
+subdirs("radio")
+subdirs("ran")
+subdirs("ue")
+subdirs("sim")
+subdirs("traces")
+subdirs("nn")
+subdirs("predictors")
+subdirs("core")
+subdirs("apps")
+subdirs("eval")

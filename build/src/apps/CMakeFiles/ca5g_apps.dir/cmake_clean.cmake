@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_apps.dir/abr.cpp.o"
+  "CMakeFiles/ca5g_apps.dir/abr.cpp.o.d"
+  "CMakeFiles/ca5g_apps.dir/estimator.cpp.o"
+  "CMakeFiles/ca5g_apps.dir/estimator.cpp.o.d"
+  "CMakeFiles/ca5g_apps.dir/vivo.cpp.o"
+  "CMakeFiles/ca5g_apps.dir/vivo.cpp.o.d"
+  "libca5g_apps.a"
+  "libca5g_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

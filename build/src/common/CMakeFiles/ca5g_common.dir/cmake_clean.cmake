@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_common.dir/csv.cpp.o"
+  "CMakeFiles/ca5g_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ca5g_common.dir/rng.cpp.o"
+  "CMakeFiles/ca5g_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ca5g_common.dir/stats.cpp.o"
+  "CMakeFiles/ca5g_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ca5g_common.dir/table.cpp.o"
+  "CMakeFiles/ca5g_common.dir/table.cpp.o.d"
+  "libca5g_common.a"
+  "libca5g_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libca5g_common.a"
+)

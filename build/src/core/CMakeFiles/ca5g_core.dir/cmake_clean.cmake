@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_core.dir/prism5g.cpp.o"
+  "CMakeFiles/ca5g_core.dir/prism5g.cpp.o.d"
+  "libca5g_core.a"
+  "libca5g_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

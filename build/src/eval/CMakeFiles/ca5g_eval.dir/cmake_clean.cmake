@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_eval.dir/importance.cpp.o"
+  "CMakeFiles/ca5g_eval.dir/importance.cpp.o.d"
+  "CMakeFiles/ca5g_eval.dir/pipeline.cpp.o"
+  "CMakeFiles/ca5g_eval.dir/pipeline.cpp.o.d"
+  "libca5g_eval.a"
+  "libca5g_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_nn.dir/attention.cpp.o"
+  "CMakeFiles/ca5g_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/ca5g_nn.dir/layers.cpp.o"
+  "CMakeFiles/ca5g_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/ca5g_nn.dir/optim.cpp.o"
+  "CMakeFiles/ca5g_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/ca5g_nn.dir/serialize.cpp.o"
+  "CMakeFiles/ca5g_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/ca5g_nn.dir/tensor.cpp.o"
+  "CMakeFiles/ca5g_nn.dir/tensor.cpp.o.d"
+  "libca5g_nn.a"
+  "libca5g_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

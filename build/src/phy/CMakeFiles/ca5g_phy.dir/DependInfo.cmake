@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/band.cpp" "src/phy/CMakeFiles/ca5g_phy.dir/band.cpp.o" "gcc" "src/phy/CMakeFiles/ca5g_phy.dir/band.cpp.o.d"
+  "/root/repo/src/phy/mcs.cpp" "src/phy/CMakeFiles/ca5g_phy.dir/mcs.cpp.o" "gcc" "src/phy/CMakeFiles/ca5g_phy.dir/mcs.cpp.o.d"
+  "/root/repo/src/phy/numerology.cpp" "src/phy/CMakeFiles/ca5g_phy.dir/numerology.cpp.o" "gcc" "src/phy/CMakeFiles/ca5g_phy.dir/numerology.cpp.o.d"
+  "/root/repo/src/phy/tbs.cpp" "src/phy/CMakeFiles/ca5g_phy.dir/tbs.cpp.o" "gcc" "src/phy/CMakeFiles/ca5g_phy.dir/tbs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ca5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_phy.dir/band.cpp.o"
+  "CMakeFiles/ca5g_phy.dir/band.cpp.o.d"
+  "CMakeFiles/ca5g_phy.dir/mcs.cpp.o"
+  "CMakeFiles/ca5g_phy.dir/mcs.cpp.o.d"
+  "CMakeFiles/ca5g_phy.dir/numerology.cpp.o"
+  "CMakeFiles/ca5g_phy.dir/numerology.cpp.o.d"
+  "CMakeFiles/ca5g_phy.dir/tbs.cpp.o"
+  "CMakeFiles/ca5g_phy.dir/tbs.cpp.o.d"
+  "libca5g_phy.a"
+  "libca5g_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

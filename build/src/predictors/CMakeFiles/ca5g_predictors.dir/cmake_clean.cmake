@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_predictors.dir/deep.cpp.o"
+  "CMakeFiles/ca5g_predictors.dir/deep.cpp.o.d"
+  "CMakeFiles/ca5g_predictors.dir/naive.cpp.o"
+  "CMakeFiles/ca5g_predictors.dir/naive.cpp.o.d"
+  "CMakeFiles/ca5g_predictors.dir/predictor.cpp.o"
+  "CMakeFiles/ca5g_predictors.dir/predictor.cpp.o.d"
+  "CMakeFiles/ca5g_predictors.dir/trees.cpp.o"
+  "CMakeFiles/ca5g_predictors.dir/trees.cpp.o.d"
+  "libca5g_predictors.a"
+  "libca5g_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_radio.dir/channel_model.cpp.o"
+  "CMakeFiles/ca5g_radio.dir/channel_model.cpp.o.d"
+  "CMakeFiles/ca5g_radio.dir/propagation.cpp.o"
+  "CMakeFiles/ca5g_radio.dir/propagation.cpp.o.d"
+  "libca5g_radio.a"
+  "libca5g_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/ca_manager.cpp" "src/ran/CMakeFiles/ca5g_ran.dir/ca_manager.cpp.o" "gcc" "src/ran/CMakeFiles/ca5g_ran.dir/ca_manager.cpp.o.d"
+  "/root/repo/src/ran/deployment.cpp" "src/ran/CMakeFiles/ca5g_ran.dir/deployment.cpp.o" "gcc" "src/ran/CMakeFiles/ca5g_ran.dir/deployment.cpp.o.d"
+  "/root/repo/src/ran/scheduler.cpp" "src/ran/CMakeFiles/ca5g_ran.dir/scheduler.cpp.o" "gcc" "src/ran/CMakeFiles/ca5g_ran.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ca5g_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ca5g_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/ca5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/ue/CMakeFiles/ca5g_ue.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

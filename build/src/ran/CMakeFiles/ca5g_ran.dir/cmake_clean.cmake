@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_ran.dir/ca_manager.cpp.o"
+  "CMakeFiles/ca5g_ran.dir/ca_manager.cpp.o.d"
+  "CMakeFiles/ca5g_ran.dir/deployment.cpp.o"
+  "CMakeFiles/ca5g_ran.dir/deployment.cpp.o.d"
+  "CMakeFiles/ca5g_ran.dir/scheduler.cpp.o"
+  "CMakeFiles/ca5g_ran.dir/scheduler.cpp.o.d"
+  "libca5g_ran.a"
+  "libca5g_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_sim.dir/engine.cpp.o"
+  "CMakeFiles/ca5g_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ca5g_sim.dir/trace.cpp.o"
+  "CMakeFiles/ca5g_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/ca5g_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/ca5g_sim.dir/trace_io.cpp.o.d"
+  "libca5g_sim.a"
+  "libca5g_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

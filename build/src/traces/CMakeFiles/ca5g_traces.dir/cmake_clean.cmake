@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_traces.dir/dataset.cpp.o"
+  "CMakeFiles/ca5g_traces.dir/dataset.cpp.o.d"
+  "libca5g_traces.a"
+  "libca5g_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ue/capability.cpp" "src/ue/CMakeFiles/ca5g_ue.dir/capability.cpp.o" "gcc" "src/ue/CMakeFiles/ca5g_ue.dir/capability.cpp.o.d"
+  "/root/repo/src/ue/mobility.cpp" "src/ue/CMakeFiles/ca5g_ue.dir/mobility.cpp.o" "gcc" "src/ue/CMakeFiles/ca5g_ue.dir/mobility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ca5g_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/ca5g_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g_ue.dir/capability.cpp.o"
+  "CMakeFiles/ca5g_ue.dir/capability.cpp.o.d"
+  "CMakeFiles/ca5g_ue.dir/mobility.cpp.o"
+  "CMakeFiles/ca5g_ue.dir/mobility.cpp.o.d"
+  "libca5g_ue.a"
+  "libca5g_ue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

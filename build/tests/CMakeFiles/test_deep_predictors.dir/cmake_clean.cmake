@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deep_predictors.dir/test_deep_predictors.cpp.o"
+  "CMakeFiles/test_deep_predictors.dir/test_deep_predictors.cpp.o.d"
+  "test_deep_predictors"
+  "test_deep_predictors.pdb"
+  "test_deep_predictors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deep_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerology.dir/test_numerology.cpp.o"
+  "CMakeFiles/test_numerology.dir/test_numerology.cpp.o.d"
+  "test_numerology"
+  "test_numerology.pdb"
+  "test_numerology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

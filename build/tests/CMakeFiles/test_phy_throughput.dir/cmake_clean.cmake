@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_throughput.dir/test_phy_throughput.cpp.o"
+  "CMakeFiles/test_phy_throughput.dir/test_phy_throughput.cpp.o.d"
+  "test_phy_throughput"
+  "test_phy_throughput.pdb"
+  "test_phy_throughput[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

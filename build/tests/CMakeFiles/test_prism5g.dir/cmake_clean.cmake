@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prism5g.dir/test_prism5g.cpp.o"
+  "CMakeFiles/test_prism5g.dir/test_prism5g.cpp.o.d"
+  "test_prism5g"
+  "test_prism5g.pdb"
+  "test_prism5g[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prism5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tbs.dir/test_tbs.cpp.o"
+  "CMakeFiles/test_tbs.dir/test_tbs.cpp.o.d"
+  "test_tbs"
+  "test_tbs.pdb"
+  "test_tbs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca5g.dir/ca5g_cli.cpp.o"
+  "CMakeFiles/ca5g.dir/ca5g_cli.cpp.o.d"
+  "ca5g"
+  "ca5g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
