@@ -29,7 +29,10 @@ void channel_allocation_table(ran::OperatorId op) {
   for (const auto& [band, bws] : bandwidths) {
     const auto& info = phy::band_info(band);
     std::string bw_list;
-    for (int bw : bws) bw_list += (bw_list.empty() ? "" : ",") + std::to_string(bw);
+    for (int bw : bws) {
+      if (!bw_list.empty()) bw_list += ',';
+      bw_list += std::to_string(bw);
+    }
     table.add_row({std::string(info.name),
                    info.duplex == phy::Duplex::kFdd ? "FDD" : "TDD",
                    common::TextTable::num(info.center_freq_mhz, 0), bw_list,

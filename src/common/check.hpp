@@ -1,47 +1,7 @@
-// Error-handling macros used across the library.
-//
-// CA5G_CHECK validates preconditions and runtime invariants; it throws
-// std::invalid_argument / std::logic_error style errors via
-// ca5g::common::CheckError so callers can catch and report. Following the
-// C++ Core Guidelines (I.6/E.2) we express preconditions as checks and
-// signal violations with exceptions rather than aborting.
+// Legacy spelling of the contract layer. CA5G_CHECK / CA5G_CHECK_MSG and
+// ca5g::common::CheckError now live in contracts.hpp together with the
+// operand-printing comparison macros and the debug-only CA5G_DCHECK family;
+// include "common/contracts.hpp" directly in new code.
 #pragma once
 
-#include <sstream>
-#include <stdexcept>
-#include <string>
-
-namespace ca5g::common {
-
-/// Exception thrown when a CA5G_CHECK fails.
-class CheckError : public std::logic_error {
- public:
-  explicit CheckError(const std::string& what) : std::logic_error(what) {}
-};
-
-[[noreturn]] inline void raise_check_failure(const char* expr, const char* file, int line,
-                                             const std::string& msg) {
-  std::ostringstream os;
-  os << "CA5G_CHECK failed: (" << expr << ") at " << file << ":" << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw CheckError(os.str());
-}
-
-}  // namespace ca5g::common
-
-/// Validate a runtime condition; throws ca5g::common::CheckError on failure.
-#define CA5G_CHECK(cond)                                                            \
-  do {                                                                              \
-    if (!(cond)) ::ca5g::common::raise_check_failure(#cond, __FILE__, __LINE__, ""); \
-  } while (false)
-
-/// Validate with an explanatory message (streamed).
-#define CA5G_CHECK_MSG(cond, msg)                                          \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::ostringstream ca5g_os_;                                         \
-      ca5g_os_ << msg;                                                     \
-      ::ca5g::common::raise_check_failure(#cond, __FILE__, __LINE__,       \
-                                          ca5g_os_.str());                 \
-    }                                                                      \
-  } while (false)
+#include "common/contracts.hpp"

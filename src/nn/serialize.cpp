@@ -12,8 +12,9 @@ constexpr std::uint32_t kMagic = 0xCA5610A0;
 
 template <typename T>
 void append(std::vector<std::uint8_t>& out, const T& value) {
-  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
-  out.insert(out.end(), bytes, bytes + sizeof(T));
+  const std::size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
 }
 
 template <typename T>
@@ -36,8 +37,9 @@ std::vector<std::uint8_t> serialize_parameters(const std::vector<Tensor>& params
     append(out, static_cast<std::uint32_t>(p.rows()));
     append(out, static_cast<std::uint32_t>(p.cols()));
     const auto& values = p.values();
-    const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
-    out.insert(out.end(), bytes, bytes + values.size() * sizeof(float));
+    const std::size_t offset = out.size();
+    out.resize(offset + values.size() * sizeof(float));
+    std::memcpy(out.data() + offset, values.data(), values.size() * sizeof(float));
   }
   return out;
 }

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
-#include "common/check.hpp"
+#include "common/contracts.hpp"
 
 namespace ca5g::nn {
 namespace detail {
@@ -206,7 +206,15 @@ void Tensor::backward() {
   node_->grad[0] = 1.0f;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
-    if (node->backward_fn && node->requires_grad) node->backward_fn(*node);
+    if (node->backward_fn && node->requires_grad) {
+      // Shape/stride agreement: a node whose storage was resized behind the
+      // graph's back (e.g. via values()) would silently corrupt gradients.
+      CA5G_DCHECK_EQ_MSG(node->values.size(), node->rows * node->cols,
+                         "tensor storage diverged from its rows x cols shape");
+      CA5G_DCHECK_EQ_MSG(node->grad.size(), node->values.size(),
+                         "gradient buffer diverged from value buffer");
+      node->backward_fn(*node);
+    }
   }
 }
 
@@ -233,6 +241,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     out->backward_fn = [m, k, n](Node& self) {
       Node& pa = *self.parents[0];
       Node& pb = *self.parents[1];
+      CA5G_DCHECK_EQ_MSG(pa.rows * pa.cols, m * k, "matmul lhs reshaped after forward");
+      CA5G_DCHECK_EQ_MSG(pb.rows * pb.cols, k * n, "matmul rhs reshaped after forward");
       if (pa.requires_grad) {
         pa.ensure_grad();
         // dA = dC · Bᵀ
@@ -407,16 +417,16 @@ Tensor concat_cols(std::span<const Tensor> parts) {
   }
   if (out->requires_grad) {
     out->backward_fn = [rows, total_cols](Node& self) {
-      std::size_t offset = 0;
+      std::size_t grad_offset = 0;
       for (auto& parent : self.parents) {
         const std::size_t pc = parent->cols;
         if (parent->requires_grad) {
           parent->ensure_grad();
           for (std::size_t r = 0; r < rows; ++r)
             for (std::size_t c = 0; c < pc; ++c)
-              parent->grad[r * pc + c] += self.grad[r * total_cols + offset + c];
+              parent->grad[r * pc + c] += self.grad[r * total_cols + grad_offset + c];
         }
-        offset += pc;
+        grad_offset += pc;
       }
     };
   }

@@ -4,7 +4,7 @@
 #include <array>
 #include <cmath>
 
-#include "common/check.hpp"
+#include "common/contracts.hpp"
 
 namespace ca5g::phy {
 namespace {
@@ -48,14 +48,12 @@ constexpr std::array<CqiEntry, kMaxCqiIndex + 1> kCqiTable{{
 }  // namespace
 
 const McsEntry& mcs_entry(int mcs_index) {
-  CA5G_CHECK_MSG(mcs_index >= 0 && mcs_index <= kMaxMcsIndex,
-                 "MCS index out of range: " << mcs_index);
+  CA5G_CHECK_IN_RANGE(mcs_index, 0, kMaxMcsIndex);
   return kMcsTable[static_cast<std::size_t>(mcs_index)];
 }
 
 const CqiEntry& cqi_entry(int cqi_index) {
-  CA5G_CHECK_MSG(cqi_index >= 0 && cqi_index <= kMaxCqiIndex,
-                 "CQI index out of range: " << cqi_index);
+  CA5G_CHECK_IN_RANGE(cqi_index, 0, kMaxCqiIndex);
   return kCqiTable[static_cast<std::size_t>(cqi_index)];
 }
 
@@ -73,6 +71,11 @@ int mcs_from_cqi(int cqi_index) {
   for (int i = 0; i <= kMaxMcsIndex; ++i) {
     if (kMcsTable[static_cast<std::size_t>(i)].efficiency() <= cqi.efficiency + 1e-9) best = i;
   }
+  // Link adaptation must never hand the scheduler an MCS the table cannot
+  // back. MCS 0 is the floor: CQI 1 promises less than the lowest MCS rate,
+  // in which case the link runs MCS 0 at elevated BLER rather than nothing.
+  CA5G_DCHECK_IN_RANGE(best, 0, kMaxMcsIndex);
+  CA5G_DCHECK(best == 0 || mcs_entry(best).efficiency() <= cqi.efficiency + 1e-9);
   return best;
 }
 

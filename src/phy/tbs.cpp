@@ -4,7 +4,7 @@
 #include <array>
 #include <cmath>
 
-#include "common/check.hpp"
+#include "common/contracts.hpp"
 #include "phy/mcs.hpp"
 #include "phy/numerology.hpp"
 
@@ -23,12 +23,12 @@ constexpr std::array<int, 93> kSmallTbsTable{
     3752, 3824};
 
 void validate(const TbsParams& p) {
-  CA5G_CHECK_MSG(p.prb_count >= 0, "negative PRB count");
-  CA5G_CHECK_MSG(p.symbols >= 1 && p.symbols <= kSymbolsPerSlot,
-                 "symbols out of range: " << p.symbols);
-  CA5G_CHECK_MSG(p.mimo_layers >= 1 && p.mimo_layers <= 8,
-                 "MIMO layers out of range: " << p.mimo_layers);
-  CA5G_CHECK_MSG(p.dmrs_re_per_prb >= 0 && p.overhead_re >= 0, "negative overhead");
+  CA5G_CHECK_GE(p.prb_count, 0);
+  CA5G_CHECK_IN_RANGE(p.symbols, 1, kSymbolsPerSlot);
+  CA5G_CHECK_IN_RANGE(p.mimo_layers, 1, 8);
+  CA5G_CHECK_IN_RANGE(p.mcs_index, 0, kMaxMcsIndex);
+  CA5G_CHECK_GE(p.dmrs_re_per_prb, 0);
+  CA5G_CHECK_GE(p.overhead_re, 0);
 }
 
 }  // namespace
@@ -71,16 +71,25 @@ std::int64_t transport_block_size(const TbsParams& p) {
   const double scale = std::exp2(n);
   const auto n_info_prime = std::max<std::int64_t>(
       3840, static_cast<std::int64_t>(scale * std::llround((info - 24.0) / scale)));
+  std::int64_t tbs = 0;
   if (mcs.code_rate <= 0.25) {
     const auto c = (n_info_prime + 24 + 3816 - 1) / 3816;
-    return 8 * c * ((n_info_prime + 24 + 8 * c - 1) / (8 * c)) - 24;
-  }
-  if (n_info_prime > 8424) {
+    tbs = 8 * c * ((n_info_prime + 24 + 8 * c - 1) / (8 * c)) - 24;
+  } else if (n_info_prime > 8424) {
     const auto c = (n_info_prime + 24 + 8424 - 1) / 8424;
-    return 8 * c * ((n_info_prime + 24 + 8 * c - 1) / (8 * c)) - 24;
+    tbs = 8 * c * ((n_info_prime + 24 + 8 * c - 1) / (8 * c)) - 24;
+  } else {
+    tbs = 8 * ((n_info_prime + 24 + 7) / 8) - 24;
   }
-  return 8 * ((n_info_prime + 24 + 7) / 8) - 24;
+  // TS 38.214 postconditions: large TBS are positive, byte-aligned after
+  // the 24-bit CRC, and the quantizer never shrinks below N'_info.
+  CA5G_DCHECK_GT(tbs, 0);
+  CA5G_DCHECK_EQ((tbs + 24) % 8, 0);
+  CA5G_DCHECK_GE(tbs, n_info_prime);
+  return tbs;
 }
+
+std::span<const int> small_tbs_table() noexcept { return kSmallTbsTable; }
 
 double slot_throughput_bps(const TbsParams& p, int scs_khz, Duplex duplex) {
   const double slots_per_second = 1000.0 * slots_per_subframe(scs_khz);

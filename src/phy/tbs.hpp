@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "phy/band.hpp"
 
@@ -40,5 +41,9 @@ struct TbsParams {
 /// Peak PHY-layer throughput in bits per second for a carrier that
 /// schedules this allocation every slot: TBS × slots/s × DL duty.
 [[nodiscard]] double slot_throughput_bps(const TbsParams& p, int scs_khz, Duplex duplex);
+
+/// The TS 38.214 Table 5.1.3.2-1 small-TBS quantization table (93 entries,
+/// 24..3824 bits), exposed read-only so the domain lint can cross-check it.
+[[nodiscard]] std::span<const int> small_tbs_table() noexcept;
 
 }  // namespace ca5g::phy

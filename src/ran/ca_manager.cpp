@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/check.hpp"
+#include "common/contracts.hpp"
 
 namespace ca5g::ran {
 
@@ -133,9 +133,8 @@ void CaManager::rebuild_scells(const std::vector<double>& rsrp, double now_s,
 }
 
 std::vector<RrcEvent> CaManager::update(const std::vector<double>& rsrp_dbm, double now_s) {
-  CA5G_CHECK_MSG(rsrp_dbm.size() == dep_->carriers.size(),
-                 "measurement vector size mismatch: " << rsrp_dbm.size() << " vs "
-                                                      << dep_->carriers.size());
+  CA5G_CHECK_EQ_MSG(rsrp_dbm.size(), dep_->carriers.size(),
+                    "one RSRP measurement per deployment carrier");
   std::vector<RrcEvent> events;
 
   const auto candidate = best_pcell(rsrp_dbm);
@@ -183,6 +182,11 @@ std::vector<RrcEvent> CaManager::update(const std::vector<double>& rsrp_dbm, dou
   }
 
   if (!active_.empty()) rebuild_scells(rsrp_dbm, now_s, events);
+  // RRC invariant: the aggregated combination never exceeds what the UE's
+  // modem signalled in its capability report (paper Table 5 / Fig. 29).
+  if (!active_.empty())
+    CA5G_DCHECK_LE_MSG(static_cast<int>(active_.size()), max_ccs_for(active_.front()),
+                       "active CC count exceeds UE capability");
   return events;
 }
 

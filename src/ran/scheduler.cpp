@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/check.hpp"
+#include "common/contracts.hpp"
 #include "phy/mcs.hpp"
 #include "phy/numerology.hpp"
 
@@ -19,9 +19,15 @@ int Scheduler::rank_from_sinr(double sinr_db) noexcept {
 CcAllocation Scheduler::allocate(const Carrier& carrier, const radio::LinkMeasurement& link,
                                  const CaContext& ca, const ue::UeCapability& capability,
                                  double load, common::Rng& rng) const {
-  CA5G_CHECK_MSG(ca.active_ccs >= 1, "active CC count must be >= 1");
+  CA5G_CHECK_GE_MSG(ca.active_ccs, 1, "a scheduled CC is always part of the active set");
+  CA5G_CHECK_GE_MSG(ca.aggregate_bw_mhz, 0, "aggregate bandwidth cannot be negative");
+  CA5G_CHECK_GE_MSG(capability.max_mimo_layers, 1, "UE must support at least one layer");
   load = std::clamp(load, 0.0, 1.0);
   const auto& info = phy::band_info(carrier.band);
+  CA5G_DCHECK_GE_MSG(ca.aggregate_bw_mhz, ca.is_pcell || ca.active_ccs == 1
+                                              ? 0
+                                              : carrier.bandwidth_mhz,
+                     "aggregate bandwidth must cover this SCell's own channel");
 
   // --- Effective SINR: CA splits the site's transmit resources. The
   // penalty applies to the additional CCs; FDD supplemental carriers
@@ -87,6 +93,11 @@ CcAllocation Scheduler::allocate(const Carrier& carrier, const radio::LinkMeasur
 
   rb_fraction = std::clamp(rb_fraction + rng.normal(0.0, params_.rb_jitter), 0.05, 1.0);
   alloc.rb = std::max(1, static_cast<int>(std::lround(rb_fraction * max_rb)));
+  // The grant can never exceed what the carrier's channel bandwidth
+  // physically carries (TS 38.101 RB capacity for this bandwidth/SCS).
+  CA5G_DCHECK_LE_MSG(alloc.rb, max_rb, "RB grant exceeds carrier capacity");
+  CA5G_DCHECK_IN_RANGE(alloc.layers, 1, capability.max_mimo_layers);
+  CA5G_DCHECK_IN_RANGE(alloc.mcs, 0, phy::kMaxMcsIndex);
 
   // --- Slot throughput from the TBS machinery (paper Eq. 1).
   phy::TbsParams tbs;

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/check.hpp"
+#include "common/contracts.hpp"
+#include "phy/mcs.hpp"
 
 namespace ca5g::sim {
 
@@ -35,6 +36,48 @@ std::vector<double> Trace::cc_count_series() const {
   out.reserve(samples.size());
   for (const auto& s : samples) out.push_back(static_cast<double>(s.active_cc_count()));
   return out;
+}
+
+void validate(const CcSample& cc) {
+  CA5G_CHECK_IN_RANGE(cc.cqi, 0, phy::kMaxCqiIndex);
+  CA5G_CHECK_IN_RANGE(cc.mcs, 0, phy::kMaxMcsIndex);
+  CA5G_CHECK_IN_RANGE(cc.layers, 0, 8);
+  CA5G_CHECK_IN_RANGE(cc.bler, 0.0, 1.0);
+  CA5G_CHECK_GE_MSG(cc.rb, 0, "negative RB grant");
+  CA5G_CHECK_GE_MSG(cc.tput_mbps, 0.0, "negative throughput");
+  CA5G_CHECK_IN_RANGE(cc.rsrp_dbm, -200.0, 0.0);
+  CA5G_CHECK_IN_RANGE(cc.rsrq_db, -45.0, 10.0);
+  CA5G_CHECK_IN_RANGE(cc.sinr_db, -100.0, 100.0);
+  CA5G_CHECK_IN_RANGE(static_cast<std::size_t>(cc.band), std::size_t{0},
+                      phy::kBandCount - 1);
+  if (cc.active) {
+    CA5G_CHECK_IN_RANGE(cc.bandwidth_mhz, 1, 400);
+    CA5G_CHECK_GE_MSG(cc.layers, 1, "an active CC transmits on at least one layer");
+  }
+}
+
+void validate(const TraceSample& sample, std::size_t cc_slots) {
+  CA5G_CHECK_EQ_MSG(sample.ccs.size(), cc_slots, "CC slot count drifted from trace header");
+  CA5G_CHECK_IN_RANGE(sample.hour_of_day, 0.0, 24.0);
+  CA5G_CHECK_GE_MSG(sample.time_s, 0.0, "negative timestamp");
+  CA5G_CHECK_GE_MSG(sample.aggregate_tput_mbps, 0.0, "negative aggregate throughput");
+  std::size_t pcells = 0;
+  for (const auto& cc : sample.ccs) {
+    validate(cc);
+    if (cc.active && cc.is_pcell) ++pcells;
+  }
+  CA5G_CHECK_LE_MSG(pcells, std::size_t{1}, "a UE has at most one PCell per step");
+}
+
+void validate(const Trace& trace) {
+  CA5G_CHECK_GT(trace.step_s, 0.0);
+  CA5G_CHECK_GE(trace.cc_slots, std::size_t{1});
+  double prev_time = -1.0;
+  for (const auto& s : trace.samples) {
+    validate(s, trace.cc_slots);
+    CA5G_CHECK_GE_MSG(s.time_s, prev_time, "trace timestamps must be non-decreasing");
+    prev_time = s.time_s;
+  }
 }
 
 Trace Trace::resampled(double new_step_s) const {

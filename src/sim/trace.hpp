@@ -68,4 +68,19 @@ struct Trace {
   [[nodiscard]] Trace resampled(double new_step_s) const;
 };
 
+// --- Table 12 schema validation -------------------------------------------
+// Every field of a recorded sample has a physical range fixed by 3GPP or by
+// the measurement methodology; a value outside it means a corrupted trace
+// (bad parse, bad generator) that would silently skew every downstream
+// figure and predictor. All three throw common::CheckError on violation.
+
+/// Validate one CC observation (CQI ∈ [0,15], MCS ∈ [0,27], BLER ∈ [0,1], …).
+void validate(const CcSample& cc);
+
+/// Validate one time step (per-CC fields, slot count, at most one PCell).
+void validate(const TraceSample& sample, std::size_t cc_slots);
+
+/// Validate a full trace (metadata plus every sample; time non-decreasing).
+void validate(const Trace& trace);
+
 }  // namespace ca5g::sim

@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "common/check.hpp"
+#include "common/contracts.hpp"
 
 namespace ca5g::sim {
 namespace {
@@ -115,10 +115,14 @@ Trace trace_from_csv(const common::CsvDocument& doc) {
     }
     trace.samples.push_back(std::move(s));
   }
+  // Parsing is where corruption enters (truncated files, shuffled columns,
+  // hand-edited CSVs); reject anything outside the Table 12 field ranges.
+  validate(trace);
   return trace;
 }
 
 void save_trace(const Trace& trace, const std::string& path) {
+  validate(trace);
   common::save_csv(trace_to_csv(trace), path);
 }
 

@@ -11,7 +11,7 @@ using namespace ca5g::phy;
 TEST(Band, LookupByName) {
   EXPECT_EQ(band_from_name("n41"), BandId::kN41);
   EXPECT_EQ(band_from_name("b66"), BandId::kB66);
-  EXPECT_THROW(band_from_name("n999"), ca5g::common::CheckError);
+  EXPECT_THROW((void)band_from_name("n999"), ca5g::common::CheckError);
 }
 
 TEST(Band, CatalogueSize) { EXPECT_EQ(all_bands().size(), kBandCount); }
@@ -58,8 +58,12 @@ TEST_P(BandProperty, EntriesAreWellFormed) {
   // Name prefix matches the RAT convention ("b" = 4G, "n" = 5G).
   EXPECT_EQ(band.name.front(), band.rat == Rat::kNr ? 'n' : 'b');
   // Range classes match frequency.
-  if (band.center_freq_mhz < 1000.0) EXPECT_EQ(band.range, BandRange::kLow);
-  if (band.center_freq_mhz >= 24000.0) EXPECT_EQ(band.range, BandRange::kHigh);
+  if (band.center_freq_mhz < 1000.0) {
+    EXPECT_EQ(band.range, BandRange::kLow);
+  }
+  if (band.center_freq_mhz >= 24000.0) {
+    EXPECT_EQ(band.range, BandRange::kHigh);
+  }
   // LTE bands are fixed at 15 kHz SCS and ≤ 20 MHz channels.
   if (band.rat == Rat::kLte) {
     ASSERT_EQ(band.scs_khz.size(), 1u);

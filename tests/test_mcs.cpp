@@ -13,14 +13,14 @@ TEST(Mcs, TableEndpoints) {
   EXPECT_NEAR(mcs_entry(0).code_rate, 120.0 / 1024, 1e-9);
   EXPECT_EQ(mcs_entry(27).modulation_order, 8);
   EXPECT_NEAR(mcs_entry(27).code_rate, 948.0 / 1024, 1e-9);
-  EXPECT_THROW(mcs_entry(-1), ca5g::common::CheckError);
-  EXPECT_THROW(mcs_entry(28), ca5g::common::CheckError);
+  EXPECT_THROW((void)mcs_entry(-1), ca5g::common::CheckError);
+  EXPECT_THROW((void)mcs_entry(28), ca5g::common::CheckError);
 }
 
 TEST(Cqi, TableEndpoints) {
   EXPECT_EQ(cqi_entry(0).modulation_order, 0);
   EXPECT_NEAR(cqi_entry(15).efficiency, 7.4063, 1e-4);
-  EXPECT_THROW(cqi_entry(16), ca5g::common::CheckError);
+  EXPECT_THROW((void)cqi_entry(16), ca5g::common::CheckError);
 }
 
 TEST(Cqi, SinrMapping) {

@@ -13,7 +13,7 @@ TEST(Numerology, SlotsPerSubframe) {
   EXPECT_EQ(slots_per_subframe(30), 2);
   EXPECT_EQ(slots_per_subframe(60), 4);
   EXPECT_EQ(slots_per_subframe(120), 8);
-  EXPECT_THROW(slots_per_subframe(45), ca5g::common::CheckError);
+  EXPECT_THROW((void)slots_per_subframe(45), ca5g::common::CheckError);
 }
 
 TEST(Numerology, SlotDuration) {
@@ -25,8 +25,8 @@ TEST(Numerology, SlotDuration) {
 TEST(Numerology, LteResourceBlocks) {
   EXPECT_EQ(max_resource_blocks(Rat::kLte, 20, 15), 100);
   EXPECT_EQ(max_resource_blocks(Rat::kLte, 5, 15), 25);
-  EXPECT_THROW(max_resource_blocks(Rat::kLte, 40, 15), ca5g::common::CheckError);
-  EXPECT_THROW(max_resource_blocks(Rat::kLte, 20, 30), ca5g::common::CheckError);
+  EXPECT_THROW((void)max_resource_blocks(Rat::kLte, 40, 15), ca5g::common::CheckError);
+  EXPECT_THROW((void)max_resource_blocks(Rat::kLte, 20, 30), ca5g::common::CheckError);
 }
 
 TEST(Numerology, NrFr1TableValues) {
@@ -43,7 +43,7 @@ TEST(Numerology, NrFr2TableValues) {
 }
 
 TEST(Numerology, UnknownCombinationThrows) {
-  EXPECT_THROW(max_resource_blocks(Rat::kNr, 37, 30), ca5g::common::CheckError);
+  EXPECT_THROW((void)max_resource_blocks(Rat::kNr, 37, 30), ca5g::common::CheckError);
 }
 
 TEST(Numerology, SubcarrierCount) {

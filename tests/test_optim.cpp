@@ -109,7 +109,7 @@ TEST(MinMaxScaler, ErrorsOnMisuse) {
   EXPECT_THROW(scaler.fit({}), ca5g::common::CheckError);
   EXPECT_FALSE(scaler.fitted());
   scaler.fit({{1.0, 2.0}});
-  EXPECT_THROW(scaler.transform(1.0, 5), ca5g::common::CheckError);
+  EXPECT_THROW((void)scaler.transform(1.0, 5), ca5g::common::CheckError);
   EXPECT_THROW(scaler.transform_row({1.0}), ca5g::common::CheckError);
 }
 

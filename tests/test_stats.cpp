@@ -38,10 +38,10 @@ TEST(Stats, PercentileInterpolates) {
 }
 
 TEST(Stats, PercentileRejectsBadInput) {
-  EXPECT_THROW(percentile(std::vector<double>{}, 50), CheckError);
+  EXPECT_THROW((void)percentile(std::vector<double>{}, 50), CheckError);
   std::vector<double> xs{1.0};
-  EXPECT_THROW(percentile(xs, -1), CheckError);
-  EXPECT_THROW(percentile(xs, 101), CheckError);
+  EXPECT_THROW((void)percentile(xs, -1), CheckError);
+  EXPECT_THROW((void)percentile(xs, 101), CheckError);
 }
 
 TEST(Stats, PearsonPerfectCorrelation) {
@@ -61,7 +61,7 @@ TEST(Stats, PearsonConstantSeriesIsZero) {
 TEST(Stats, PearsonSizeMismatchThrows) {
   std::vector<double> a{1, 2};
   std::vector<double> b{1, 2, 3};
-  EXPECT_THROW(pearson(a, b), CheckError);
+  EXPECT_THROW((void)pearson(a, b), CheckError);
 }
 
 TEST(Stats, RmseAndMae) {

@@ -52,7 +52,7 @@ TEST(Tensor, ConstructionAndAccess) {
   EXPECT_EQ(t.size(), 6u);
   t.set(1, 2, 5.0f);
   EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
-  EXPECT_THROW(t.at(2, 0), ca5g::common::CheckError);
+  EXPECT_THROW((void)t.at(2, 0), ca5g::common::CheckError);
   EXPECT_FALSE(Tensor{}.defined());
 }
 

@@ -57,7 +57,9 @@ TEST(Trace, ResampleMajorityActiveRule) {
   const auto coarse = trace.resampled(0.05);
   for (const auto& s : coarse.samples)
     for (const auto& cc : s.ccs)
-      if (!cc.active) EXPECT_LE(cc.cqi, 15);  // inactive slots stay valid
+      if (!cc.active) {
+        EXPECT_LE(cc.cqi, 15);  // inactive slots stay valid
+      }
 }
 
 TEST(Trace, ResampleRejectsRefinement) {

@@ -1,9 +1,9 @@
 // ca5g — command-line front end to the library.
 //
-//   ca5g simulate  --op OpZ --env urban --mobility driving \
+//   ca5g simulate  --op OpZ --env urban --mobility driving
 //                  --duration 60 --seed 7 [--rat 4g|5g] [--out trace.csv]
 //   ca5g census    trace.csv
-//   ca5g evaluate  --op OpZ --mobility driving --scale short \
+//   ca5g evaluate  --op OpZ --mobility driving --scale short
 //                  --model Prism5G [--save model.bin]
 //   ca5g qoe       --app vivo|abr --model Prism5G
 //

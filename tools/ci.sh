@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Prism5G CI driver: builds and tests the tree in the two configurations
+# every change must keep green:
+#
+#   1. Release with -Werror            (fast, what benchmarks run as)
+#   2. Debug + ASan + UBSan, -Werror   (memory/UB errors are fatal via
+#                                       -fno-sanitize-recover=all, and the
+#                                       CA5G_DCHECK contract family is on)
+#
+# Usage:
+#   tools/ci.sh            full suite in both configurations
+#   tools/ci.sh --fast     full Release suite, but only the labelled
+#                          `lint` + `sanitize` smoke subset under ASan
+#                          (keeps wall-clock near a single plain run)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run() { echo "+ $*" >&2; "$@"; }
+
+# --- 1. Release + WERROR ----------------------------------------------------
+run cmake -B build-ci-release -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DPRISM5G_WERROR=ON
+run cmake --build build-ci-release -j "$JOBS"
+run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+
+# --- 2. ASan + UBSan (fatal on first report) --------------------------------
+run cmake -B build-ci-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DPRISM5G_WERROR=ON \
+  "-DPRISM5G_SANITIZE=address;undefined"
+run cmake --build build-ci-asan -j "$JOBS"
+if [[ "$FAST" == 1 ]]; then
+  # Labelled smoke subset: contract layer, 3GPP tables, tensor autodiff,
+  # trace schema, scheduler/CA manager — the layers where memory errors live.
+  run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" -L 'lint|sanitize'
+else
+  run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "ci.sh: all configurations green"
