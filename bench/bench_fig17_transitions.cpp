@@ -49,6 +49,7 @@ double transition_rmse(const std::vector<double>& pred, const sim::Trace& trace,
 int main() {
   bench::banner("Figs. 17-18 / 33-36",
                 "Prediction time series & transition zones Z1/Z2 (10 ms scale)");
+  bench::BenchReport bench_json("fig17_transitions");
 
   // Training data: the standard OpZ driving short-scale sub-dataset.
   auto gen = eval::GenerationConfig::from_env();
@@ -91,8 +92,12 @@ int main() {
   common::TextTable table("First-step prediction error (Mbps RMSE)");
   table.set_header({"Model", "Whole trace", "Transition zones (±0.25 s)"});
   auto add = [&](const char* name, const std::vector<double>& pred) {
-    table.add_row({name, common::TextTable::num(common::rmse(pred, aligned_truth), 0),
-                   common::TextTable::num(transition_rmse(pred, trace, 25), 0)});
+    const double whole = common::rmse(pred, aligned_truth);
+    const double zones = transition_rmse(pred, trace, 25);
+    table.add_row({name, common::TextTable::num(whole, 0),
+                   common::TextTable::num(zones, 0)});
+    bench_json.result(std::string(name) + "_rmse_mbps", whole);
+    bench_json.result(std::string(name) + "_transition_rmse_mbps", zones);
   };
   add("Prophet", p_prophet);
   add("LSTM", p_lstm);

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace ca5g::apps {
 namespace {
@@ -82,7 +84,13 @@ std::vector<double> ModelEstimator::predict_mbps(const sim::Trace& trace, std::s
   const auto window = traces::build_window(trace.samples, now - spec_.history, spec_,
                                            cc_slots_, tput_scale_mbps_,
                                            /*allow_short_target=*/true);
-  const auto normalized = model_->predict(window);
+  CA5G_METRIC_HISTOGRAM(inference_ns, "predictor.inference_ns");
+  CA5G_METRIC_COUNTER(samples, "predictor.samples_total");
+  samples.inc();
+  const auto normalized = [&] {
+    CA5G_SCOPED_TIMER(inference_ns);
+    return model_->predict(window);
+  }();
   std::vector<double> out;
   out.reserve(want);
   for (std::size_t h = 0; h < want; ++h) {

@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace ca5g::eval {
 
@@ -40,9 +42,11 @@ GenerationConfig GenerationConfig::from_env() {
 
 std::vector<sim::Trace> generate_traces(const SubDatasetId& id, TimeScale scale,
                                         const GenerationConfig& config) {
+  CA5G_METRIC_COUNTER(traces_generated, "eval.traces_generated_total");
   std::vector<sim::Trace> out;
   out.reserve(config.traces);
   for (std::size_t i = 0; i < config.traces; ++i) {
+    traces_generated.inc();
     sim::ScenarioConfig scenario;
     scenario.op = id.op;
     scenario.mobility = id.mobility;
@@ -101,7 +105,11 @@ std::unique_ptr<predictors::Predictor> make_predictor(const std::string& name) {
 
 double train_and_evaluate(predictors::Predictor& model, const traces::Dataset& ds,
                           const traces::Dataset::Split& split) {
-  model.fit(ds, split.train, split.val);
+  CA5G_METRIC_HISTOGRAM(train_ns, "eval.train_ns");
+  {
+    CA5G_SCOPED_TIMER(train_ns);
+    model.fit(ds, split.train, split.val);
+  }
   return predictors::evaluate_rmse(model, split.test);
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace ca5g::nn {
 namespace {
@@ -31,6 +33,8 @@ Linear::Linear(common::Rng& rng, std::size_t in_features, std::size_t out_featur
 }
 
 Tensor Linear::forward(const Tensor& x) const {
+  CA5G_METRIC_HISTOGRAM(forward_ns, "nn.linear_forward_ns");
+  CA5G_SCOPED_TIMER(forward_ns);
   CA5G_CHECK_MSG(x.cols() == in_, "Linear input width " << x.cols() << " != " << in_);
   return matmul(x, weight_) + bias_;
 }
@@ -79,6 +83,8 @@ LstmCell::State LstmCell::zero_state(std::size_t batch) const {
 }
 
 LstmCell::State LstmCell::step(const Tensor& x, const State& state) const {
+  CA5G_METRIC_HISTOGRAM(step_ns, "nn.lstm_cell_step_ns");
+  CA5G_SCOPED_TIMER(step_ns);
   CA5G_CHECK_MSG(x.cols() == input_, "LstmCell input width mismatch");
   const Tensor gates = matmul(x, w_ih_) + (matmul(state.h, w_hh_) + bias_);
   const Tensor i = sigmoid(slice_cols(gates, 0, hidden_));
@@ -195,6 +201,8 @@ CausalConv1d::CausalConv1d(common::Rng& rng, std::size_t in_channels,
 }
 
 std::vector<Tensor> CausalConv1d::forward(std::span<const Tensor> sequence) const {
+  CA5G_METRIC_HISTOGRAM(forward_ns, "nn.conv1d_forward_ns");
+  CA5G_SCOPED_TIMER(forward_ns);
   CA5G_CHECK_MSG(!sequence.empty(), "conv forward on empty sequence");
   std::vector<Tensor> outputs;
   outputs.reserve(sequence.size());

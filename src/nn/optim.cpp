@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace ca5g::nn {
 
@@ -24,6 +26,8 @@ void Adam::zero_grad() {
 }
 
 void Adam::step() {
+  CA5G_METRIC_HISTOGRAM(step_ns, "nn.optimizer_step_ns");
+  CA5G_SCOPED_TIMER(step_ns);
   ++t_;
 
   if (config_.clip_norm > 0.0f) {

@@ -1,0 +1,414 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace ca5g::obs {
+namespace {
+
+/// Atomic min/max for doubles via CAS (relaxed: statistics, not ordering).
+void atomic_min(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+bool is_segment(std::string_view seg) {
+  if (seg.empty()) return false;
+  if (seg.front() < 'a' || seg.front() > 'z') return false;
+  for (char c : seg) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out(name);
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+}  // namespace
+
+// --- JSON helpers ------------------------------------------------------------
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  // JSON has no inf/nan; clamp to null-free sentinels.
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+// --- Naming convention -------------------------------------------------------
+
+const std::vector<std::string>& metric_unit_suffixes() {
+  static const std::vector<std::string> kSuffixes = {
+      "_total", "_ns", "_s", "_bytes", "_mbps", "_ratio", "_count", "_db", "_per_s",
+      "_rmse",
+  };
+  return kSuffixes;
+}
+
+bool is_valid_metric_name(std::string_view name) {
+  if (name.empty() || name.size() > 128) return false;
+  std::size_t start = 0;
+  std::size_t segments = 0;
+  std::string_view last;
+  while (start <= name.size()) {
+    const std::size_t dot = name.find('.', start);
+    const std::string_view seg =
+        name.substr(start, dot == std::string_view::npos ? std::string_view::npos
+                                                         : dot - start);
+    if (!is_segment(seg)) return false;
+    last = seg;
+    ++segments;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  if (segments < 2) return false;
+  for (const auto& suffix : metric_unit_suffixes()) {
+    if (last.size() > suffix.size() &&
+        last.substr(last.size() - suffix.size()) == suffix)
+      return true;
+    // A bare-unit final segment ("sim.wall.s") is not the convention; the
+    // unit rides on the noun ("sim.wall_s"), hence the > above.
+  }
+  return false;
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(HistogramSpec spec) : spec_(spec) {
+  CA5G_CHECK_MSG(spec_.lower > 0.0, "histogram lower bound must be positive");
+  CA5G_CHECK_MSG(spec_.upper > spec_.lower, "histogram upper must exceed lower");
+  log_lower_ = std::log(spec_.lower);
+  const double log_ratio =
+      (std::log(spec_.upper) - log_lower_) / static_cast<double>(kBucketCount);
+  inv_log_ratio_ = 1.0 / log_ratio;
+}
+
+std::size_t Histogram::bucket_index(double v) const noexcept {
+  if (!(v > spec_.lower)) return 0;  // also catches NaN and negatives
+  if (v >= spec_.upper) return kBucketCount;
+  const auto idx = static_cast<std::size_t>((std::log(v) - log_lower_) * inv_log_ratio_);
+  return std::min(idx, kBucketCount - 1);
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) const noexcept {
+  if (i >= kBucketCount) return std::numeric_limits<double>::infinity();
+  return std::exp(log_lower_ + static_cast<double>(i + 1) / inv_log_ratio_);
+}
+
+void Histogram::observe(double v) noexcept {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t before = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (before == 0) {
+    // First observation seeds min/max; racing observers correct via CAS.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- Snapshots ---------------------------------------------------------------
+
+HistogramSnapshot HistogramSnapshot::from(const std::string& name, const Histogram& h) {
+  HistogramSnapshot snap;
+  snap.name = name;
+  snap.spec = h.spec();
+  snap.count = h.count();
+  snap.sum = h.sum();
+  snap.min = h.min_.load(std::memory_order_relaxed);
+  snap.max = h.max_.load(std::memory_order_relaxed);
+  snap.buckets.resize(Histogram::kBucketCount + 1);
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) snap.buckets[i] = h.bucket_count(i);
+  return snap;
+}
+
+double HistogramSnapshot::bucket_upper_bound(std::size_t i) const {
+  if (i >= Histogram::kBucketCount) return std::numeric_limits<double>::infinity();
+  const double log_lower = std::log(spec.lower);
+  const double log_ratio = (std::log(spec.upper) - log_lower) /
+                           static_cast<double>(Histogram::kBucketCount);
+  return std::exp(log_lower + static_cast<double>(i + 1) * log_ratio);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target && cumulative > 0) {
+      if (i >= Histogram::kBucketCount) return max;  // overflow bucket
+      return std::min(bucket_upper_bound(i), max);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  CA5G_CHECK_MSG(buckets.size() == other.buckets.size(),
+                 "histogram merge with mismatched bucket counts");
+  CA5G_CHECK_NEAR(spec.lower, other.spec.lower, 1e-12);
+  CA5G_CHECK_NEAR(spec.upper, other.spec.upper, 1e-3);
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    auto it = std::find_if(counters.begin(), counters.end(),
+                           [&](const auto& kv) { return kv.first == name; });
+    if (it == counters.end())
+      counters.emplace_back(name, value);
+    else
+      it->second += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    auto it = std::find_if(gauges.begin(), gauges.end(),
+                           [&](const auto& kv) { return kv.first == name; });
+    if (it == gauges.end())
+      gauges.emplace_back(name, value);
+    else
+      it->second = value;
+  }
+  for (const auto& h : other.histograms) {
+    auto it = std::find_if(histograms.begin(), histograms.end(),
+                           [&](const auto& mine) { return mine.name == h.name; });
+    if (it == histograms.end())
+      histograms.push_back(h);
+    else
+      it->merge(h);
+  }
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+const std::uint64_t* MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [key, value] : counters)
+    if (key == name) return &value;
+  return nullptr;
+}
+
+// --- Export ------------------------------------------------------------------
+
+std::string to_json(const MetricsSnapshot& snapshot, int indent) {
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  const std::string pad2 = pad + pad;
+  const std::string pad3 = pad2 + pad;
+  const char* nl = indent > 0 ? "\n" : "";
+  std::ostringstream os;
+  os << '{' << nl;
+
+  os << pad << "\"counters\": {" << nl;
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << pad2 << '"' << snapshot.counters[i].first << "\": " << snapshot.counters[i].second
+       << (i + 1 < snapshot.counters.size() ? "," : "") << nl;
+  }
+  os << pad << "}," << nl;
+
+  os << pad << "\"gauges\": {" << nl;
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << pad2 << '"' << snapshot.gauges[i].first
+       << "\": " << json_number(snapshot.gauges[i].second)
+       << (i + 1 < snapshot.gauges.size() ? "," : "") << nl;
+  }
+  os << pad << "}," << nl;
+
+  os << pad << "\"histograms\": {" << nl;
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    os << pad2 << '"' << h.name << "\": {" << nl;
+    os << pad3 << "\"count\": " << h.count << "," << nl;
+    os << pad3 << "\"sum\": " << json_number(h.sum) << "," << nl;
+    os << pad3 << "\"min\": " << json_number(h.min) << "," << nl;
+    os << pad3 << "\"max\": " << json_number(h.max) << "," << nl;
+    os << pad3 << "\"mean\": " << json_number(h.mean()) << "," << nl;
+    os << pad3 << "\"p50\": " << json_number(h.quantile(0.5)) << "," << nl;
+    os << pad3 << "\"p99\": " << json_number(h.quantile(0.99)) << "," << nl;
+    // Sparse bucket list: only occupied buckets, as [upper_bound, count].
+    os << pad3 << "\"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) os << ", ";
+      first = false;
+      const double le = h.bucket_upper_bound(b);
+      os << '[' << (std::isinf(le) ? std::string("\"+inf\"") : json_number(le)) << ", "
+         << h.buckets[b] << ']';
+    }
+    os << ']' << nl;
+    os << pad2 << '}' << (i + 1 < snapshot.histograms.size() ? "," : "") << nl;
+  }
+  os << pad << '}' << nl;
+
+  os << '}' << nl;
+  return os.str();
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const auto prom = prometheus_name(name);
+    os << "# TYPE " << prom << " counter\n" << prom << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const auto prom = prometheus_name(name);
+    os << "# TYPE " << prom << " gauge\n" << prom << ' ' << json_number(value) << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    const auto prom = prometheus_name(h.name);
+    os << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0 && b + 1 < h.buckets.size()) continue;
+      cumulative += h.buckets[b];
+      const double le = h.bucket_upper_bound(b);
+      os << prom << "_bucket{le=\""
+         << (std::isinf(le) ? std::string("+Inf") : json_number(le)) << "\"} "
+         << cumulative << '\n';
+    }
+    os << prom << "_sum " << json_number(h.sum) << '\n';
+    os << prom << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+// --- Registry ----------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  CA5G_CHECK_MSG(is_valid_metric_name(name),
+                 "metric name violates the layer.noun_unit convention: " << name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  CA5G_CHECK_MSG(is_valid_metric_name(name),
+                 "metric name violates the layer.noun_unit convention: " << name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, HistogramSpec spec) {
+  CA5G_CHECK_MSG(is_valid_metric_name(name),
+                 "metric name violates the layer.noun_unit convention: " << name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(spec)).first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    snap.histograms.push_back(HistogramSnapshot::from(name, *h));
+  return snap;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& kv : counters_) out.push_back(kv.first);
+  for (const auto& kv : gauges_) out.push_back(kv.first);
+  for (const auto& kv : histograms_) out.push_back(kv.first);
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) kv.second->reset();
+  for (auto& kv : gauges_) kv.second->reset();
+  for (auto& kv : histograms_) kv.second->reset();
+}
+
+}  // namespace ca5g::obs

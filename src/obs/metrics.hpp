@@ -1,0 +1,277 @@
+// Process-wide metrics registry: the observability substrate the paper's
+// methodology implies — XCAL exported machine-readable KPIs every 10 ms;
+// our simulator, trainer, and predictors export theirs through here.
+//
+// Three instrument kinds, all lock-free on the fast path (one relaxed
+// atomic op per update, no mutex per increment):
+//
+//   Counter    monotone u64 (events, rows, lookups)        *_total
+//   Gauge      last-written double (loss, rates)           unit-suffixed
+//   Histogram  fixed log-spaced buckets (ns..s latencies,  *_ns, *_mbps
+//              Mbps throughputs) with count/sum/min/max
+//
+// Registration (name → instrument) takes a mutex once per call site; the
+// CA5G_METRIC_* macros below cache the reference in a function-local
+// static so steady-state updates never touch it.
+//
+// Metric names follow `layer.noun_unit` (see docs/OBSERVABILITY.md and
+// the prism5g_lint naming rule): lowercase dot-separated segments, the
+// last ending in a recognised unit suffix, e.g. `sim.steps_total`,
+// `predictor.inference_ns`, `nn.epoch_val_rmse`.
+//
+// Compile-time switch: building with PRISM5G_OBS_ENABLED=0 (CMake option
+// -DPRISM5G_OBS=OFF) swaps the CA5G_METRIC_* / CA5G_SCOPED_TIMER macros
+// for constexpr null instruments whose methods are empty — instrumented
+// call sites compile to nothing, so perf baselines carry zero
+// observability tax (verified by bench_obs_overhead).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef PRISM5G_OBS_ENABLED
+#define PRISM5G_OBS_ENABLED 1
+#endif
+
+namespace ca5g::obs {
+
+// --- Naming convention -------------------------------------------------------
+
+/// True when `name` follows the `layer.noun_unit` convention: at least two
+/// lowercase `[a-z][a-z0-9_]*` segments separated by dots, the final segment
+/// ending in a recognised unit suffix (`_total`, `_ns`, `_s`, `_bytes`,
+/// `_mbps`, `_ratio`, `_count`, `_db`, `_per_s`, `_rmse`).
+[[nodiscard]] bool is_valid_metric_name(std::string_view name);
+
+/// The unit suffixes is_valid_metric_name() accepts, for diagnostics.
+[[nodiscard]] const std::vector<std::string>& metric_unit_suffixes();
+
+// --- Instruments -------------------------------------------------------------
+
+/// Monotone event counter. inc() is one relaxed fetch_add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge. set() is one relaxed store; add() a CAS loop.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram bucket layout: kBucketCount log-spaced buckets spanning
+/// [lower, upper), plus one overflow bucket. The default covers 1 ns to
+/// 100 s — wide enough for per-step latencies and whole-training walls —
+/// and a Mbps-flavoured spec (0.01..1e5) suits throughput distributions.
+struct HistogramSpec {
+  double lower = 1.0;    ///< first bucket upper bound ≥ lower·ratio
+  double upper = 1e11;   ///< values ≥ upper land in the overflow bucket
+
+  [[nodiscard]] static HistogramSpec nanoseconds() { return {1.0, 1e11}; }
+  [[nodiscard]] static HistogramSpec mbps() { return {0.01, 1e5}; }
+};
+
+/// Fixed-bucket log-spaced histogram. observe() costs two relaxed atomic
+/// RMWs plus a log(); count/sum/min/max are tracked for mean and export.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 64;
+
+  explicit Histogram(HistogramSpec spec = {});
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] const HistogramSpec& spec() const noexcept { return spec_; }
+
+  /// Inclusive upper bound of bucket `i` (i == kBucketCount → +inf).
+  [[nodiscard]] double bucket_upper_bound(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket a value lands in (last index = overflow).
+  [[nodiscard]] std::size_t bucket_index(double v) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  HistogramSpec spec_;
+  double log_lower_;
+  double inv_log_ratio_;
+  std::array<std::atomic<std::uint64_t>, kBucketCount + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+
+  friend struct HistogramSnapshot;
+  friend class MetricsRegistry;
+};
+
+// --- Snapshots ---------------------------------------------------------------
+
+/// Point-in-time copy of one histogram; safe to merge/serialize while the
+/// live instrument keeps counting.
+struct HistogramSnapshot {
+  std::string name;
+  HistogramSpec spec;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< kBucketCount + 1 (overflow last)
+
+  [[nodiscard]] static HistogramSnapshot from(const std::string& name, const Histogram& h);
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket where the cumulative count reaches q·count
+  /// (q in [0,1]); a bucket-resolution quantile estimate.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double bucket_upper_bound(std::size_t i) const;
+
+  /// Element-wise merge; spec layouts must match (CheckError otherwise).
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Full registry snapshot: isolated from later updates.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Sum counters, overwrite gauges, merge histograms (for sharded runs).
+  void merge(const MetricsSnapshot& other);
+
+  [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const;
+  [[nodiscard]] const std::uint64_t* counter(std::string_view name) const;
+};
+
+/// Backslash-escape `s` for embedding inside a JSON string literal
+/// (quotes, backslashes, control characters; no surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Render a double as a JSON number token. JSON has no inf/nan: nan
+/// becomes 0, ±inf clamps to ±1e308.
+[[nodiscard]] std::string json_number(double v);
+
+/// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot, int indent = 2);
+
+/// Prometheus text exposition (dots become underscores, TYPE lines emitted).
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+// --- Registry ----------------------------------------------------------------
+
+/// Name → instrument map. Thread-safe: registration and snapshot take a
+/// mutex; returned references are stable for the registry's lifetime, so
+/// hot paths cache them (see CA5G_METRIC_*) and update lock-free.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all instrumentation sites.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, HistogramSpec spec = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Zero every instrument (registrations survive). Tests and per-run
+  /// CLI exports use this to scope values to one run.
+  void reset_values();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// --- Null instruments (disabled-build macro targets) -------------------------
+
+/// Zero-size stand-ins the CA5G_METRIC_* macros substitute when
+/// PRISM5G_OBS_ENABLED=0: every method is a constexpr no-op, so the
+/// instrumented statements vanish entirely from codegen.
+struct NullCounter {
+  constexpr void inc(std::uint64_t = 1) const noexcept {}
+};
+struct NullGauge {
+  constexpr void set(double) const noexcept {}
+  constexpr void add(double) const noexcept {}
+};
+struct NullHistogram {
+  constexpr void observe(double) const noexcept {}
+};
+
+}  // namespace ca5g::obs
+
+// --- Instrumentation macros --------------------------------------------------
+//
+// Usage at a call site (function scope):
+//
+//   CA5G_METRIC_COUNTER(steps, "sim.steps_total");
+//   steps.inc();
+//
+// Enabled: declares `static obs::Counter& steps = ...` (one registry
+// lookup ever, thread-safe static init). Disabled: declares a constexpr
+// NullCounter, and steps.inc() compiles away.
+#if PRISM5G_OBS_ENABLED
+
+#define CA5G_METRIC_COUNTER(var, name) \
+  static ::ca5g::obs::Counter& var = ::ca5g::obs::MetricsRegistry::global().counter(name)
+#define CA5G_METRIC_GAUGE(var, name) \
+  static ::ca5g::obs::Gauge& var = ::ca5g::obs::MetricsRegistry::global().gauge(name)
+#define CA5G_METRIC_HISTOGRAM(var, name)            \
+  static ::ca5g::obs::Histogram& var =              \
+      ::ca5g::obs::MetricsRegistry::global().histogram(name)
+#define CA5G_METRIC_HISTOGRAM_SPEC(var, name, spec) \
+  static ::ca5g::obs::Histogram& var =              \
+      ::ca5g::obs::MetricsRegistry::global().histogram(name, spec)
+/// Statement gate for computed updates (argument expressions included).
+#define CA5G_OBS_STMT(...) __VA_ARGS__
+
+#else
+
+#define CA5G_METRIC_COUNTER(var, name) \
+  [[maybe_unused]] constexpr ::ca5g::obs::NullCounter var {}
+#define CA5G_METRIC_GAUGE(var, name) \
+  [[maybe_unused]] constexpr ::ca5g::obs::NullGauge var {}
+#define CA5G_METRIC_HISTOGRAM(var, name) \
+  [[maybe_unused]] constexpr ::ca5g::obs::NullHistogram var {}
+#define CA5G_METRIC_HISTOGRAM_SPEC(var, name, spec) \
+  [[maybe_unused]] constexpr ::ca5g::obs::NullHistogram var {}
+#define CA5G_OBS_STMT(...)
+
+#endif

@@ -1,0 +1,17 @@
+#include "obs/trace_span.hpp"
+
+#include <type_traits>
+
+namespace ca5g::obs {
+
+// ScopedTimer's contract is structural: one span per scope, pinned to it.
+// These asserts keep refactors from quietly making it copyable (which
+// would double-record) or non-nothrow-constructible (which would make the
+// macro unusable in noexcept hot paths).
+static_assert(!std::is_copy_constructible_v<ScopedTimer>);
+static_assert(!std::is_move_constructible_v<ScopedTimer>);
+static_assert(std::is_nothrow_constructible_v<ScopedTimer, Histogram&>);
+
+static_assert(std::is_nothrow_default_constructible_v<StopWatch>);
+
+}  // namespace ca5g::obs

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 
 namespace ca5g::phy {
 namespace {
@@ -58,6 +59,8 @@ const CqiEntry& cqi_entry(int cqi_index) {
 }
 
 int cqi_from_sinr(double sinr_db) noexcept {
+  CA5G_METRIC_COUNTER(cqi_lookups, "phy.cqi_lookups_total");
+  cqi_lookups.inc();
   int best = 0;
   for (int i = 1; i <= kMaxCqiIndex; ++i)
     if (sinr_db >= kCqiTable[static_cast<std::size_t>(i)].min_sinr_db) best = i;
@@ -65,6 +68,8 @@ int cqi_from_sinr(double sinr_db) noexcept {
 }
 
 int mcs_from_cqi(int cqi_index) {
+  CA5G_METRIC_COUNTER(mcs_lookups, "phy.mcs_lookups_total");
+  mcs_lookups.inc();
   const auto& cqi = cqi_entry(cqi_index);
   if (cqi.index == 0) return 0;
   int best = 0;

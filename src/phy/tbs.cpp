@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 #include "phy/mcs.hpp"
 #include "phy/numerology.hpp"
 
@@ -51,6 +52,8 @@ double n_info(const TbsParams& p) {
 }
 
 std::int64_t transport_block_size(const TbsParams& p) {
+  CA5G_METRIC_COUNTER(tbs_lookups, "phy.tbs_lookups_total");
+  tbs_lookups.inc();
   const double info = n_info(p);
   if (info <= 0.0) return 0;
 

@@ -5,6 +5,8 @@
 
 #include "common/check.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace ca5g::predictors {
 
@@ -108,7 +110,13 @@ void DeepPredictor::fit(const traces::Dataset& ds,
   std::size_t since_best = 0;
   val_history_.clear();
 
+  CA5G_METRIC_COUNTER(epochs_total, "nn.train_epochs_total");
+  CA5G_METRIC_COUNTER(batches_total, "nn.train_batches_total");
+  CA5G_METRIC_HISTOGRAM(backward_ns, "nn.backward_ns");
+  CA5G_METRIC_GAUGE(epoch_val_rmse, "nn.epoch_val_rmse");
+
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    epochs_total.inc();
     rng.shuffle(order);
     for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
       const std::size_t end = std::min(order.size(), start + config_.batch_size);
@@ -116,9 +124,13 @@ void DeepPredictor::fit(const traces::Dataset& ds,
       batch.reserve(end - start);
       for (std::size_t i = start; i < end; ++i) batch.push_back(train[order[i]]);
 
+      batches_total.inc();
       optimizer.zero_grad();
       nn::Tensor loss = compute_loss(batch);
-      loss.backward();
+      {
+        CA5G_SCOPED_TIMER(backward_ns);
+        loss.backward();
+      }
       optimizer.step();
     }
 
@@ -140,6 +152,7 @@ void DeepPredictor::fit(const traces::Dataset& ds,
           }
       }
       val_rmse = std::sqrt(sq / static_cast<double>(std::max<std::size_t>(count, 1)));
+      epoch_val_rmse.set(val_rmse);
       val_history_.push_back(val_rmse);
       if (val_rmse < best_val - 1e-5) {
         best_val = val_rmse;

@@ -5,6 +5,8 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace ca5g::predictors {
 namespace {
@@ -35,9 +37,15 @@ TrainConfig train_config_from_env() {
 double evaluate_rmse(const Predictor& model,
                      std::span<const traces::Window* const> test) {
   CA5G_CHECK_MSG(!test.empty(), "evaluate_rmse on empty test set");
+  CA5G_METRIC_HISTOGRAM(inference_ns, "predictor.inference_ns");
+  CA5G_METRIC_COUNTER(samples, "predictor.samples_total");
   std::vector<double> pred, truth;
   for (const traces::Window* w : test) {
-    const auto p = model.predict(*w);
+    samples.inc();
+    const auto p = [&] {
+      CA5G_SCOPED_TIMER(inference_ns);
+      return model.predict(*w);
+    }();
     const std::size_t n = std::min(p.size(), w->target.size());
     pred.insert(pred.end(), p.begin(), p.begin() + static_cast<std::ptrdiff_t>(n));
     truth.insert(truth.end(), w->target.begin(),
@@ -49,9 +57,15 @@ double evaluate_rmse(const Predictor& model,
 double evaluate_mae(const Predictor& model,
                     std::span<const traces::Window* const> test) {
   CA5G_CHECK_MSG(!test.empty(), "evaluate_mae on empty test set");
+  CA5G_METRIC_HISTOGRAM(inference_ns, "predictor.inference_ns");
+  CA5G_METRIC_COUNTER(samples, "predictor.samples_total");
   std::vector<double> pred, truth;
   for (const traces::Window* w : test) {
-    const auto p = model.predict(*w);
+    samples.inc();
+    const auto p = [&] {
+      CA5G_SCOPED_TIMER(inference_ns);
+      return model.predict(*w);
+    }();
     const std::size_t n = std::min(p.size(), w->target.size());
     pred.insert(pred.end(), p.begin(), p.begin() + static_cast<std::ptrdiff_t>(n));
     truth.insert(truth.end(), w->target.begin(),

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 
 namespace ca5g::ran {
 
@@ -162,6 +163,13 @@ std::vector<RrcEvent> CaManager::update(const std::vector<double>& rsrp_dbm, dou
     const double candidate_score = rsrp_dbm[*candidate] + pcell_preference_bonus(*candidate);
     const bool a3 = *candidate != pcell &&
                     candidate_score > current_score + policy_.handover_hysteresis_db;
+    if (*candidate != pcell && candidate_score > current_score && !a3) {
+      // A stronger cell exists but sits inside the hysteresis margin —
+      // the ping-pong suppression the paper's Fig. 17 transition stats
+      // hinge on. Counted so runs can report how often it bites.
+      CA5G_METRIC_COUNTER(hysteresis_blocks, "ran.handover_hysteresis_block_total");
+      hysteresis_blocks.inc();
+    }
     if (a3) {
       if (!pending_handover_ || pending_handover_->carrier != *candidate) {
         pending_handover_ = Pending{*candidate, now_s};
@@ -187,6 +195,19 @@ std::vector<RrcEvent> CaManager::update(const std::vector<double>& rsrp_dbm, dou
   if (!active_.empty())
     CA5G_DCHECK_LE_MSG(static_cast<int>(active_.size()), max_ccs_for(active_.front()),
                        "active CC count exceeds UE capability");
+
+  CA5G_METRIC_COUNTER(scell_adds, "ran.scell_add_total");
+  CA5G_METRIC_COUNTER(scell_removes, "ran.scell_remove_total");
+  CA5G_METRIC_COUNTER(pcell_changes, "ran.pcell_change_total");
+  CA5G_METRIC_COUNTER(rat_changes, "ran.rat_change_total");
+  CA5G_OBS_STMT(for (const auto& event : events) {
+    switch (event.type) {
+      case RrcEventType::kSCellAdd: scell_adds.inc(); break;
+      case RrcEventType::kSCellRemove: scell_removes.inc(); break;
+      case RrcEventType::kPCellChange: pcell_changes.inc(); break;
+      case RrcEventType::kRatChange: rat_changes.inc(); break;
+    }
+  })
   return events;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 #include "phy/mcs.hpp"
 #include "phy/numerology.hpp"
 
@@ -40,9 +41,17 @@ CcAllocation Scheduler::allocate(const Carrier& carrier, const radio::LinkMeasur
     sinr_eff -= per_cc * static_cast<double>(ca.active_ccs - 1);
   }
 
+  CA5G_METRIC_COUNTER(grants, "ran.grants_total");
+  CA5G_METRIC_COUNTER(no_grants, "ran.no_grant_total");
+  CA5G_METRIC_COUNTER(rb_granted, "ran.rb_granted_total");
+  CA5G_METRIC_COUNTER(scell_throttled, "ran.scell_throttled_total");
+
   CcAllocation alloc;
   alloc.cqi = phy::cqi_from_sinr(sinr_eff);
-  if (alloc.cqi == 0) return alloc;  // out of range: no grant
+  if (alloc.cqi == 0) {
+    no_grants.inc();
+    return alloc;  // out of range: no grant
+  }
 
   // --- Rank adaptation, capped by UE and band capability.
   int max_layers = capability.max_mimo_layers;
@@ -89,6 +98,7 @@ CcAllocation Scheduler::allocate(const Carrier& carrier, const radio::LinkMeasur
         (ca.aggregate_bw_mhz - params_.throttle_bw_threshold_mhz) / 100.0;
     rb_fraction *= std::max(0.15, 1.0 - params_.throttle_strength * load * excess_100mhz -
                                       0.25 * excess_100mhz);
+    scell_throttled.inc();
   }
 
   rb_fraction = std::clamp(rb_fraction + rng.normal(0.0, params_.rb_jitter), 0.05, 1.0);
@@ -116,6 +126,8 @@ CcAllocation Scheduler::allocate(const Carrier& carrier, const radio::LinkMeasur
     utilization *= params_.outage_depth * rng.uniform(0.3, 1.2);
 
   alloc.tput_bps = raw_bps * (1.0 - alloc.bler) * utilization;
+  grants.inc();
+  rb_granted.inc(static_cast<std::uint64_t>(alloc.rb));
   return alloc;
 }
 

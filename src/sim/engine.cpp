@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "phy/numerology.hpp"
 
 namespace ca5g::sim {
@@ -201,6 +203,8 @@ void SimulationEngine::record_step(double now_s,
                                    const std::vector<radio::LinkMeasurement>& current,
                                    const std::vector<radio::LinkMeasurement>& delayed,
                                    std::vector<ran::RrcEvent> events, Trace& trace) {
+  CA5G_METRIC_HISTOGRAM(record_step_ns, "sim.record_step_ns");
+  CA5G_SCOPED_TIMER(record_step_ns);
   TraceSample sample;
   sample.time_s = now_s;
   sample.hour_of_day = std::fmod(config_.start_hour + now_s / 3600.0, 24.0);
@@ -326,6 +330,13 @@ void SimulationEngine::record_step(double now_s,
 }
 
 Trace SimulationEngine::run() {
+  CA5G_METRIC_COUNTER(steps_total, "sim.steps_total");
+  CA5G_METRIC_COUNTER(rrc_evaluations, "sim.rrc_evaluations_total");
+  CA5G_METRIC_COUNTER(rrc_events, "sim.rrc_events_total");
+  CA5G_METRIC_HISTOGRAM(step_ns, "sim.step_ns");
+  CA5G_METRIC_GAUGE(steps_per_s, "sim.steps_per_s");
+  obs::StopWatch run_watch;
+
   Trace trace;
   trace.op = dep_->op;
   trace.env = config_.env;
@@ -340,6 +351,8 @@ Trace SimulationEngine::run() {
                                    std::llround(config_.rrc_interval_s / config_.step_s)));
 
   for (std::size_t step = 0; step < steps; ++step) {
+    CA5G_SCOPED_TIMER(step_ns);
+    steps_total.inc();
     const double now_s = static_cast<double>(step) * config_.step_s;
 
     // Advance mobility and channel processes.
@@ -364,7 +377,11 @@ Trace SimulationEngine::run() {
     }
 
     std::vector<ran::RrcEvent> events;
-    if (step % rrc_every == 0) events = ca_->update(filtered_rsrp_, now_s);
+    if (step % rrc_every == 0) {
+      rrc_evaluations.inc();
+      events = ca_->update(filtered_rsrp_, now_s);
+      rrc_events.inc(events.size());
+    }
 
     // Activation ramps: newly added carriers start at 20% of their rate;
     // a PCell change briefly interrupts service on the new PCell.
@@ -379,6 +396,7 @@ Trace SimulationEngine::run() {
 
     record_step(now_s, meas, delayed, std::move(events), trace);
   }
+  steps_per_s.set(static_cast<double>(steps) / std::max(run_watch.elapsed_s(), 1e-9));
   return trace;
 }
 

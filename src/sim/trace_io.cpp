@@ -1,8 +1,10 @@
 #include "sim/trace_io.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 
 namespace ca5g::sim {
 namespace {
@@ -17,6 +19,8 @@ std::string fmt(double v) {
 }  // namespace
 
 common::CsvDocument trace_to_csv(const Trace& trace) {
+  CA5G_METRIC_COUNTER(rows_written, "trace_io.rows_written_total");
+  rows_written.inc(trace.samples.size());
   common::CsvDocument doc;
   doc.header = {"time_s", "hour", "op", "env", "mobility", "modem", "step_s",
                 "cc_slots", "pos_x", "pos_y", "event", "agg_tput_mbps"};
@@ -67,16 +71,26 @@ common::CsvDocument trace_to_csv(const Trace& trace) {
 }
 
 Trace trace_from_csv(const common::CsvDocument& doc) {
+  CA5G_METRIC_COUNTER(rows_read, "trace_io.rows_read_total");
+  CA5G_METRIC_COUNTER(rows_rejected, "trace_io.rows_rejected_total");
+
   Trace trace;
   CA5G_CHECK_MSG(!doc.rows.empty(), "trace CSV has no data rows");
+  rows_read.inc(doc.rows.size());
 
   const auto& first = doc.rows.front();
-  trace.op = static_cast<ran::OperatorId>(std::stoi(first[doc.column("op")]));
-  trace.env = static_cast<radio::Environment>(std::stoi(first[doc.column("env")]));
-  trace.mobility = first[doc.column("mobility")];
-  trace.modem = static_cast<ue::ModemModel>(std::stoi(first[doc.column("modem")]));
-  trace.step_s = std::stod(first[doc.column("step_s")]);
-  trace.cc_slots = static_cast<std::size_t>(std::stoul(first[doc.column("cc_slots")]));
+  try {
+    if (first.size() < doc.header.size()) throw std::out_of_range("short trace CSV row");
+    trace.op = static_cast<ran::OperatorId>(std::stoi(first[doc.column("op")]));
+    trace.env = static_cast<radio::Environment>(std::stoi(first[doc.column("env")]));
+    trace.mobility = first[doc.column("mobility")];
+    trace.modem = static_cast<ue::ModemModel>(std::stoi(first[doc.column("modem")]));
+    trace.step_s = std::stod(first[doc.column("step_s")]);
+    trace.cc_slots = static_cast<std::size_t>(std::stoul(first[doc.column("cc_slots")]));
+  } catch (const std::exception& e) {
+    rows_rejected.inc();
+    CA5G_CHECK_MSG(false, "trace CSV metadata row is malformed at line 2: " << e.what());
+  }
 
   const auto time_col = doc.column("time_s");
   const auto hour_col = doc.column("hour");
@@ -85,7 +99,13 @@ Trace trace_from_csv(const common::CsvDocument& doc) {
   const auto event_col = doc.column("event");
   const auto agg_col = doc.column("agg_tput_mbps");
 
-  for (const auto& row : doc.rows) {
+  // Rows that fail to parse are counted and skipped rather than silently
+  // aborting the whole load; the first offender's 1-based file line
+  // (header is line 1) is reported if nothing survives.
+  std::size_t rejected = 0;
+  std::size_t first_rejected_line = 0;
+  const auto parse_sample = [&](const std::vector<std::string>& row) {
+    if (row.size() < doc.header.size()) throw std::out_of_range("short trace CSV row");
     TraceSample s;
     s.time_s = std::stod(row[time_col]);
     s.hour_of_day = std::stod(row[hour_col]);
@@ -113,8 +133,20 @@ Trace trace_from_csv(const common::CsvDocument& doc) {
       cc.mcs = std::stoi(row[doc.column(p + "mcs")]);
       cc.tput_mbps = std::stod(row[doc.column(p + "tput")]);
     }
-    trace.samples.push_back(std::move(s));
+    return s;
+  };
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    try {
+      trace.samples.push_back(parse_sample(doc.rows[r]));
+    } catch (const std::exception&) {
+      ++rejected;
+      rows_rejected.inc();
+      if (first_rejected_line == 0) first_rejected_line = r + 2;
+    }
   }
+  CA5G_CHECK_MSG(!trace.samples.empty(),
+                 "trace CSV has no parseable data rows: " << rejected
+                     << " malformed row(s), first at line " << first_rejected_line);
   // Parsing is where corruption enters (truncated files, shuffled columns,
   // hand-edited CSVs); reject anything outside the Table 12 field ranges.
   validate(trace);

@@ -95,4 +95,41 @@ TEST(TraceIo, EmptyTraceRejected) {
   EXPECT_THROW(sim::trace_from_csv(doc), common::CheckError);
 }
 
+TEST(TraceIo, MalformedRowsSkippedNotFatal) {
+  const auto trace = make_trace();
+  auto doc = sim::trace_to_csv(trace);
+  doc.rows[3][0] = "not-a-number";   // corrupt time_s of one row
+  doc.rows[7].resize(2);             // truncate another mid-row
+  const auto restored = sim::trace_from_csv(doc);
+  EXPECT_EQ(restored.samples.size(), trace.samples.size() - 2);
+}
+
+TEST(TraceIo, AllRowsMalformedReportsFirstLine) {
+  const auto trace = make_trace();
+  auto doc = sim::trace_to_csv(trace);
+  for (auto& row : doc.rows) row[0] = "garbage";
+  try {
+    static_cast<void>(sim::trace_from_csv(doc));
+    FAIL() << "expected CheckError";
+  } catch (const common::CheckError& e) {
+    // Header is file line 1, so the first data row is line 2.
+    EXPECT_NE(std::string(e.what()).find("first at line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, MalformedMetadataRowReported) {
+  const auto trace = make_trace();
+  auto doc = sim::trace_to_csv(trace);
+  doc.rows[0][doc.column("cc_slots")] = "many";
+  try {
+    static_cast<void>(sim::trace_from_csv(doc));
+    FAIL() << "expected CheckError";
+  } catch (const common::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("metadata row is malformed at line 2"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace

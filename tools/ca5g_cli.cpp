@@ -6,10 +6,15 @@
 //   ca5g evaluate  --op OpZ --mobility driving --scale short
 //                  --model Prism5G [--save model.bin]
 //   ca5g qoe       --app vivo|abr --model Prism5G
+//   ca5g quickstart [--seed N]       (sim → trace I/O → train → evaluate)
 //
+// Every subcommand accepts --metrics-out FILE (metrics registry JSON) and
+// --report-out FILE (run summary JSON + FILE.events.jsonl timeline).
 // Every subcommand is deterministic for a given --seed.
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "apps/abr.hpp"
@@ -17,6 +22,8 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "eval/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "sim/trace_io.hpp"
 
 namespace {
@@ -68,6 +75,31 @@ sim::Mobility parse_mobility(const std::string& name) {
   std::exit(2);
 }
 
+/// Write --metrics-out / --report-out files if requested. Called at the
+/// end of every subcommand so any run can export its telemetry.
+void export_telemetry(const std::map<std::string, std::string>& args,
+                      const obs::RunReport& report) {
+  const auto metrics_path = get(args, "metrics-out", "");
+  const auto report_path = get(args, "report-out", "");
+  if (metrics_path.empty() && report_path.empty()) return;
+
+  const auto snapshot = obs::MetricsRegistry::global().snapshot();
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out.good()) {
+      std::cerr << "cannot open --metrics-out path: " << metrics_path << "\n";
+      std::exit(1);
+    }
+    out << obs::to_json(snapshot);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+  if (!report_path.empty()) {
+    report.write_summary(report_path, &snapshot);
+    report.write_events(obs::RunReport::events_path_for(report_path));
+    std::cout << "run report written to " << report_path << "\n";
+  }
+}
+
 void print_trace_summary(const sim::Trace& trace) {
   const auto agg = trace.aggregate_series();
   const auto ccs = trace.cc_count_series();
@@ -101,22 +133,40 @@ int cmd_simulate(int argc, char** argv) {
     config.cc_slots = 5;
   }
 
+  obs::RunReport report("simulate");
+  report.meta("op", get(args, "op", "OpZ"));
+  report.meta("env", get(args, "env", "urban"));
+  report.meta("mobility", get(args, "mobility", "driving"));
+  report.meta("seed", static_cast<double>(config.seed));
+  report.meta("duration_s", config.duration_s);
+  report.meta("step_s", config.step_s);
+
+  report.event("phase", "simulate");
   const auto trace = sim::run_scenario(config);
   print_trace_summary(trace);
+  report.kpi("samples", static_cast<double>(trace.samples.size()));
+  report.kpi("tput_mean_mbps", common::mean(trace.aggregate_series()));
   const auto out = get(args, "out", "");
   if (!out.empty()) {
+    report.event("phase", "save-trace");
     sim::save_trace(trace, out);
     std::cout << "\nwrote " << out << "\n";
   }
+  export_telemetry(args, report);
   return 0;
 }
 
 int cmd_census(int argc, char** argv) {
   if (argc < 3) {
-    std::cerr << "usage: ca5g census <trace.csv>\n";
+    std::cerr << "usage: ca5g census <trace.csv> [--metrics-out F] [--report-out F]\n";
     return 2;
   }
+  const auto args = parse_args(argc, argv, 3);
+  obs::RunReport report("census");
+  report.meta("trace", argv[2]);
+  report.event("phase", "load-trace");
   const auto trace = sim::load_trace(argv[2]);
+  report.kpi("samples", static_cast<double>(trace.samples.size()));
   print_trace_summary(trace);
 
   std::map<std::string, std::size_t> combos;
@@ -135,6 +185,7 @@ int cmd_census(int argc, char** argv) {
     table.add_row(
         {combo, common::TextTable::num(100.0 * count / trace.samples.size(), 1)});
   std::cout << table;
+  export_telemetry(args, report);
   return 0;
 }
 
@@ -146,17 +197,27 @@ int cmd_evaluate(int argc, char** argv) {
   const auto scale = get(args, "scale", "short") == "long" ? eval::TimeScale::kLong
                                                            : eval::TimeScale::kShort;
 
+  obs::RunReport report("evaluate");
+  report.meta("op", get(args, "op", "OpZ"));
+  report.meta("mobility", get(args, "mobility", "driving"));
+  report.meta("scale", eval::time_scale_name(scale));
+  report.meta("seed", std::stod(get(args, "seed", "42")));
+
   std::cout << "Generating " << id.label() << " dataset at "
             << eval::time_scale_name(scale) << "...\n";
+  report.event("phase", "generate-dataset");
   const auto ds = eval::make_ml_dataset(id, scale, eval::GenerationConfig::from_env());
   common::Rng rng(std::stoull(get(args, "seed", "42")));
   const auto split = ds.random_split(0.5, 0.2, rng);
 
   const auto model_name = get(args, "model", "Prism5G");
   auto model = eval::make_predictor(model_name);
+  report.meta("model", model->name());
   std::cout << "Training " << model->name() << " on " << split.train.size()
             << " windows...\n";
+  report.event("phase", "train-and-evaluate");
   const double rmse = eval::train_and_evaluate(*model, ds, split);
+  report.kpi("test_rmse", rmse);
   std::cout << model->name() << " test RMSE (normalized): "
             << common::TextTable::num(rmse, 4) << "\n";
 
@@ -170,6 +231,7 @@ int cmd_evaluate(int argc, char** argv) {
       return 2;
     }
   }
+  export_telemetry(args, report);
   return 0;
 }
 
@@ -179,15 +241,23 @@ int cmd_qoe(int argc, char** argv) {
   const auto model_name = get(args, "model", "Prism5G");
   const bool abr = app == "abr";
 
+  obs::RunReport report("qoe");
+  report.meta("app", app);
+  report.meta("model", model_name);
+  report.meta("seed", std::stod(get(args, "seed", "42")));
+
   eval::SubDatasetId id{ran::OperatorId::kOpZ, sim::Mobility::kDriving};
   const auto scale = abr ? eval::TimeScale::kLong : eval::TimeScale::kShort;
+  report.event("phase", "generate-dataset");
   const auto ds = eval::make_ml_dataset(id, scale, eval::GenerationConfig::from_env());
   common::Rng rng(std::stoull(get(args, "seed", "42")));
   const auto split = ds.random_split(0.5, 0.2, rng);
 
   std::cout << "Training " << model_name << "...\n";
+  report.event("phase", "train");
   std::shared_ptr<predictors::Predictor> model{eval::make_predictor(model_name)};
   model->fit(ds, split.train, split.val);
+  report.event("phase", "session");
 
   auto session_gen = eval::GenerationConfig::from_env();
   session_gen.seed += 31337;
@@ -210,6 +280,8 @@ int cmd_qoe(int argc, char** argv) {
     table.add_row({"Ideal", common::TextTable::num(r_ideal.avg_bitrate_mbps, 1),
                    common::TextTable::num(r_ideal.stall_time_s, 1)});
     std::cout << table;
+    report.kpi("avg_bitrate_mbps", r_model.avg_bitrate_mbps);
+    report.kpi("stall_time_s", r_model.stall_time_s);
   } else {
     apps::VivoConfig config;
     config.max_bitrate_mbps = 750.0;
@@ -222,7 +294,75 @@ int cmd_qoe(int argc, char** argv) {
     table.add_row({"Ideal", common::TextTable::num(r_ideal.avg_quality, 2),
                    common::TextTable::num(r_ideal.stall_time_s, 2)});
     std::cout << table;
+    report.kpi("avg_quality", r_model.avg_quality);
+    report.kpi("stall_time_s", r_model.stall_time_s);
   }
+  export_telemetry(args, report);
+  return 0;
+}
+
+// quickstart: one small end-to-end pass that exercises every
+// instrumented layer in a single process — simulate, round-trip the
+// trace through the CSV codec, window it into a dataset, train a tiny
+// LSTM, and evaluate it. This is what `tools/ci.sh` runs in its obs
+// stage to assert the exported metrics cover sim/ran/phy/nn/predictor/
+// trace_io.
+int cmd_quickstart(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2);
+  const auto seed = std::stoull(get(args, "seed", "7"));
+
+  obs::RunReport report("quickstart");
+  report.meta("seed", static_cast<double>(seed));
+  report.meta("scenario", "OpZ urban driving 10s @ 10ms");
+
+  sim::ScenarioConfig config;
+  config.op = ran::OperatorId::kOpZ;
+  config.env = radio::Environment::kUrbanMacro;
+  config.mobility = sim::Mobility::kDriving;
+  config.duration_s = 10.0;
+  config.step_s = 0.01;
+  config.seed = seed;
+
+  report.event("phase", "simulate");
+  std::cout << "Simulating " << config.duration_s << " s (10 ms steps)...\n";
+  const auto trace = sim::run_scenario(config);
+  report.kpi("sim_samples", static_cast<double>(trace.samples.size()));
+
+  // Round-trip through the CSV codec in memory so trace_io counters
+  // reflect a real encode/decode pass without touching disk.
+  report.event("phase", "trace-roundtrip");
+  const auto reloaded = sim::trace_from_csv(sim::trace_to_csv(trace));
+
+  report.event("phase", "window-dataset");
+  traces::DatasetSpec spec;
+  spec.history = 10;
+  spec.horizon = 10;
+  spec.stride = 20;
+  const auto ds = traces::Dataset::from_traces({reloaded}, spec);
+  common::Rng rng(seed);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  report.kpi("windows", static_cast<double>(ds.windows().size()));
+
+  report.event("phase", "train");
+  predictors::TrainConfig train_config;
+  train_config.epochs = 2;
+  train_config.hidden = 8;
+  train_config.layers = 1;
+  train_config.batch_size = 16;
+  train_config.patience = 2;
+  train_config.seed = seed;
+  predictors::LstmPredictor model(train_config);
+  std::cout << "Training a small " << model.name() << " on " << split.train.size()
+            << " windows...\n";
+  model.fit(ds, split.train, split.val);
+
+  report.event("phase", "evaluate");
+  const double rmse = predictors::evaluate_rmse(model, split.test);
+  report.kpi("test_rmse", rmse);
+  std::cout << model.name() << " test RMSE (normalized): "
+            << common::TextTable::num(rmse, 4) << "\n";
+
+  export_telemetry(args, report);
   return 0;
 }
 
@@ -236,7 +376,10 @@ void usage() {
             << "  evaluate  --op .. --mobility .. --scale short|long\n"
             << "            --model Prophet|LSTM|TCN|Lumos5G|GBDT|RF|Prism5G\n"
             << "            [--save model.bin] [--seed N]\n"
-            << "  qoe       --app vivo|abr --model <name> [--seed N]\n";
+            << "  qoe       --app vivo|abr --model <name> [--seed N]\n"
+            << "  quickstart [--seed N]   small end-to-end sim+train+eval pass\n\n"
+            << "all subcommands accept --metrics-out FILE and --report-out FILE\n"
+            << "to export the metrics registry and a per-run report as JSON.\n";
 }
 
 }  // namespace
@@ -252,6 +395,7 @@ int main(int argc, char** argv) {
     if (command == "census") return cmd_census(argc, argv);
     if (command == "evaluate") return cmd_evaluate(argc, argv);
     if (command == "qoe") return cmd_qoe(argc, argv);
+    if (command == "quickstart") return cmd_quickstart(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -7,6 +7,10 @@
 #                                       -fno-sanitize-recover=all, and the
 #                                       CA5G_DCHECK contract family is on)
 #
+# Between the two, an observability smoke runs the `ca5g quickstart`
+# pipeline and asserts the exported metrics/report JSON is valid and
+# covers the instrumented layers (see docs/OBSERVABILITY.md).
+#
 # Usage:
 #   tools/ci.sh            full suite in both configurations
 #   tools/ci.sh --fast     full Release suite, but only the labelled
@@ -28,6 +32,30 @@ run cmake -B build-ci-release -S . \
   -DPRISM5G_WERROR=ON
 run cmake --build build-ci-release -j "$JOBS"
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+
+# --- 1b. Observability smoke: quickstart telemetry export -------------------
+# One process through sim → trace round-trip → train → eval, exporting the
+# metrics snapshot and run report; assert the JSON parses and the layers
+# that must be instrumented actually reported.
+OBS_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_DIR"' EXIT
+run ./build-ci-release/tools/ca5g quickstart --seed 7 \
+  --metrics-out "$OBS_DIR/metrics.json" --report-out "$OBS_DIR/report.json"
+run python3 - "$OBS_DIR" <<'EOF'
+import json, sys
+d = sys.argv[1]
+m = json.load(open(f"{d}/metrics.json"))
+assert m["counters"]["sim.steps_total"] > 0, "sim did not count steps"
+hist = m["histograms"]["predictor.inference_ns"]
+assert hist["count"] > 0, "predictor inference histogram is empty"
+layers = {k.split(".")[0] for s in ("counters", "gauges", "histograms") for k in m[s]}
+assert len(layers) >= 5, f"expected >=5 instrumented layers, got {sorted(layers)}"
+r = json.load(open(f"{d}/report.json"))
+assert r["run"] == "quickstart" and r["wall_s"] > 0 and "kpis" in r
+events = [json.loads(l) for l in open(f"{d}/report.json.events.jsonl")]
+assert events, "run report emitted no events"
+print(f"obs smoke OK: layers={sorted(layers)}, events={len(events)}")
+EOF
 
 # --- 2. ASan + UBSan (fatal on first report) --------------------------------
 run cmake -B build-ci-asan -S . \

@@ -16,12 +16,17 @@
 //     band, exact expectations for the paper's NR bands),
 //   * numerology/RB-capacity spot values from TS 38.101,
 //   * the Table 12 trace schema (CSV header completeness, round-trip,
-//     field-range validation).
+//     field-range validation),
+//   * the observability metric names registered by the code paths the lint
+//     itself exercises (the `layer.noun_unit` convention from
+//     docs/OBSERVABILITY.md — wrong names would silently fragment
+//     dashboards and per-run reports).
 //
 // It is registered as a ctest (label: lint). `--self-test` additionally
 // proves the detectors fire by running the same checks over deliberately
-// corrupted copies of the MCS/TBS/CQI/band tables — guarding against the
-// lint itself rotting into a rubber stamp.
+// corrupted copies of the MCS/TBS/CQI/band tables and over malformed
+// metric names — guarding against the lint itself rotting into a rubber
+// stamp.
 #include <cmath>
 #include <cstring>
 #include <iostream>
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 #include "phy/band.hpp"
 #include "phy/mcs.hpp"
 #include "phy/numerology.hpp"
@@ -417,6 +423,22 @@ void lint_trace_schema(Linter& lint) {
   lint.expect(threw, "Table 12 validation must reject CQI 99");
 }
 
+// --- Observability metric naming convention ----------------------------------
+
+void lint_metric_names(Linter& lint, const std::vector<std::string>& names) {
+  for (const auto& name : names)
+    lint.expect(obs::is_valid_metric_name(name),
+                "metric name violates the layer.noun_unit convention: " + name);
+#if PRISM5G_OBS_ENABLED
+  // The earlier passes exercised instrumented code (cqi_from_sinr,
+  // mcs_from_cqi, transport_block_size, the trace CSV round trip), so an
+  // empty registry means the instrumentation macros stopped registering.
+  lint.expect(!names.empty(),
+              "instrumented code paths registered no metrics — the "
+              "CA5G_METRIC_* macros are not reaching the registry");
+#endif
+}
+
 // --- Self-test: the detectors must fire on corrupted tables ------------------
 
 /// Runs `check` against a corrupted table copy and reports whether it
@@ -471,6 +493,13 @@ void self_test(Linter& lint) {
     lint.expect(detects([&](Linter& sub) { lint_band_catalogue(sub, bands); }),
                 "self-test: corrupted n41 duplex/frequency must be detected");
   }
+  // Malformed metric names: each offender must trip the naming rule.
+  for (const char* bad : {"NoLayer_total", "sim.steps", "sim..steps_total",
+                          "Sim.steps_total", "sim.steps_furlongs"}) {
+    lint.expect(
+        detects([&](Linter& sub) { lint_metric_names(sub, {std::string(bad)}); }),
+        std::string("self-test: malformed metric name must be detected: ") + bad);
+  }
 }
 
 }  // namespace
@@ -503,6 +532,9 @@ int main(int argc, char** argv) {
   lint_band_catalogue(lint, phy::all_bands());
   lint_numerology(lint);
   lint_trace_schema(lint);
+  // Runs last: the passes above exercised instrumented code, so the global
+  // registry now holds every metric name those paths register.
+  lint_metric_names(lint, obs::MetricsRegistry::global().names());
   if (run_self_test) self_test(lint);
 
   if (lint.failures().empty()) {
