@@ -1,0 +1,182 @@
+// Serving throughput/latency budget. Drives the PredictionServer with
+// the closed-loop trace-replay LoadGen (serve/loadgen) on a synthetic CA
+// trace and enforces two acceptance thresholds:
+//
+//  1. >= 50k predictions/sec sustained with the naive (HarmonicMean)
+//     predictor on 4 worker threads (CA5G_SERVE_MIN_RPS overrides);
+//  2. p99 submit-to-completion latency under 2x the batch deadline —
+//     micro-batching must add bounded, not unbounded, queueing delay.
+//
+// Sanitizer builds (TSan/ASan) run the same pipeline for the race/memory
+// coverage but skip the performance assertions: instrumented code is
+// legitimately 5-20x slower.
+//
+// `--smoke` shortens the run for ctest registration (label: serve).
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "predictors/naive.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "traces/dataset.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitizedBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitizedBuild = true;
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
+
+/// Same learnable structure the predictor unit tests use: cc0 sinusoid
+/// PCell, cc1 square-wave SCell — cheap to generate, realistic feature
+/// occupancy for windowing.
+sim::Trace synthetic_trace(std::size_t samples) {
+  sim::Trace trace;
+  trace.op = ran::OperatorId::kOpZ;
+  trace.mobility = "synthetic";
+  trace.step_s = 0.01;
+  trace.cc_slots = 4;
+  for (std::size_t i = 0; i < samples; ++i) {
+    sim::TraceSample s;
+    s.time_s = static_cast<double>(i) * trace.step_s;
+    s.ccs.assign(4, sim::CcSample{});
+    const double t = static_cast<double>(i);
+
+    sim::CcSample& cc0 = s.ccs[0];
+    cc0.active = true;
+    cc0.is_pcell = true;
+    cc0.band = phy::BandId::kN41;
+    cc0.bandwidth_mhz = 100;
+    cc0.rsrp_dbm = -85.0 + 10.0 * std::sin(t / 40.0);
+    cc0.sinr_db = 20.0 + 8.0 * std::sin(t / 40.0);
+    cc0.cqi = 12;
+    cc0.rb = 200;
+    cc0.layers = 4;
+    cc0.mcs = 22;
+    cc0.tput_mbps = 500.0 + 280.0 * std::sin(t / 40.0);
+
+    if ((static_cast<std::size_t>(t / 60.0) % 2) == 0) {
+      sim::CcSample& cc1 = s.ccs[1];
+      cc1.active = true;
+      cc1.band = phy::BandId::kN25;
+      cc1.bandwidth_mhz = 20;
+      cc1.rsrp_dbm = -95.0;
+      cc1.sinr_db = 12.0;
+      cc1.cqi = 9;
+      cc1.rb = 95;
+      cc1.layers = 1;
+      cc1.mcs = 16;
+      cc1.tput_mbps = 150.0;
+    }
+    for (const auto& cc : s.ccs) s.aggregate_tput_mbps += cc.tput_mbps;
+    trace.samples.push_back(std::move(s));
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bench::banner("serve throughput",
+                std::string("micro-batched predictions/sec + tail latency (") +
+                    (kSanitizedBuild ? "sanitized build: perf asserts off" : "perf-asserted") +
+                    ")");
+
+  const auto trace = synthetic_trace(2000);
+  traces::DatasetSpec spec;
+  spec.stride = 5;
+  const auto ds = traces::Dataset::from_traces({trace}, spec);
+
+  auto model = std::make_shared<predictors::HarmonicMeanPredictor>();
+  common::Rng rng(7);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  model->fit(ds, split.train, split.val);
+
+  serve::ModelRegistry registry;
+  registry.install("harmonic_mean", model);
+
+  serve::ServerConfig server_config;
+  server_config.workers = 4;
+  server_config.max_batch = 32;
+  server_config.batch_deadline = std::chrono::microseconds(1000);
+  server_config.queue_capacity = 4096;
+  server_config.history = ds.history();
+  server_config.cc_slots = ds.cc_slots();
+  server_config.tput_scale_mbps = ds.tput_scale_mbps();
+
+  serve::LoadGenConfig gen_config;
+  gen_config.ues = 16;
+  gen_config.speed = 1000.0;
+  gen_config.closed_loop = true;
+  gen_config.max_in_flight = 256;
+  gen_config.duration_s = smoke ? 1.0 : 3.0;
+  gen_config.seed = 7;
+  gen_config.expected_horizon = ds.horizon();
+
+  serve::LoadGen gen(gen_config);
+  serve::PredictionServer server(server_config, registry, gen.completion());
+  const auto report = gen.run(server, trace);
+
+  common::TextTable table("serve throughput (closed loop, " +
+                          std::to_string(server_config.workers) + " workers, batch " +
+                          std::to_string(server_config.max_batch) + ", deadline " +
+                          std::to_string(server_config.batch_deadline.count()) + " us)");
+  table.set_header({"metric", "value"});
+  table.add_row({"offered", std::to_string(report.offered)});
+  table.add_row({"completed", std::to_string(report.completed)});
+  table.add_row({"shed", std::to_string(report.shed)});
+  table.add_row({"errors", std::to_string(report.errors)});
+  table.add_row({"wall s", common::TextTable::num(report.wall_s)});
+  table.add_row({"predictions/s", common::TextTable::num(report.completed_per_s, 0)});
+  table.add_row({"p50 latency ms", common::TextTable::num(report.p50_latency_ns / 1e6)});
+  table.add_row({"p99 latency ms", common::TextTable::num(report.p99_latency_ns / 1e6)});
+  std::cout << table.to_string() << "\n";
+
+  bool ok = true;
+  if (report.completed == 0) {
+    std::cerr << "FAIL: no predictions completed\n";
+    ok = false;
+  }
+  if (report.errors != 0) {
+    std::cerr << "FAIL: " << report.errors << " errored predictions\n";
+    ok = false;
+  }
+
+  if (kSanitizedBuild) {
+    std::cout << "sanitized build: skipping throughput/latency thresholds\n";
+    return ok ? 0 : 1;
+  }
+
+  double min_rps = 50000.0;
+  if (const char* env = std::getenv("CA5G_SERVE_MIN_RPS")) min_rps = std::atof(env);
+  if (report.completed_per_s < min_rps) {
+    std::cerr << "FAIL: " << report.completed_per_s << " predictions/s < required "
+              << min_rps << "\n";
+    ok = false;
+  }
+
+  const double p99_budget_ns =
+      2.0 * static_cast<double>(server_config.batch_deadline.count()) * 1e3;
+  if (report.p99_latency_ns > p99_budget_ns) {
+    std::cerr << "FAIL: p99 latency " << report.p99_latency_ns / 1e6 << " ms > budget "
+              << p99_budget_ns / 1e6 << " ms (2x batch deadline)\n";
+    ok = false;
+  }
+
+  std::cout << (ok ? "PASS" : "FAIL") << ": serve throughput budget\n";
+  return ok ? 0 : 1;
+}

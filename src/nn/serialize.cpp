@@ -8,7 +8,11 @@
 namespace ca5g::nn {
 namespace {
 
-constexpr std::uint32_t kMagic = 0xCA5610A0;
+// v1 blobs carried only this magic and no version word; v2 uses a new
+// magic so a legacy file is diagnosed as such rather than misreading its
+// tensor count as a version number.
+constexpr std::uint32_t kMagicV1 = 0xCA5610A0;
+constexpr std::uint32_t kMagic = 0xCA5610A2;
 
 template <typename T>
 void append(std::vector<std::uint8_t>& out, const T& value) {
@@ -31,6 +35,7 @@ T read(const std::vector<std::uint8_t>& in, std::size_t& offset) {
 std::vector<std::uint8_t> serialize_parameters(const std::vector<Tensor>& params) {
   std::vector<std::uint8_t> out;
   append(out, kMagic);
+  append(out, kSerializeFormatVersion);
   append(out, static_cast<std::uint32_t>(params.size()));
   for (const auto& p : params) {
     CA5G_CHECK_MSG(p.defined(), "cannot serialize an undefined tensor");
@@ -47,8 +52,16 @@ std::vector<std::uint8_t> serialize_parameters(const std::vector<Tensor>& params
 void deserialize_parameters(const std::vector<std::uint8_t>& blob,
                             std::vector<Tensor>& params) {
   std::size_t offset = 0;
-  CA5G_CHECK_MSG(read<std::uint32_t>(blob, offset) == kMagic,
-                 "bad parameter blob magic");
+  const auto magic = read<std::uint32_t>(blob, offset);
+  CA5G_CHECK_MSG(magic != kMagicV1,
+                 "unversioned legacy parameter blob (format v1); re-save the "
+                 "model with this build to upgrade it to format v"
+                     << kSerializeFormatVersion);
+  CA5G_CHECK_MSG(magic == kMagic, "bad parameter blob magic");
+  const auto version = read<std::uint32_t>(blob, offset);
+  CA5G_CHECK_MSG(version == kSerializeFormatVersion,
+                 "parameter blob format version mismatch: expected v"
+                     << kSerializeFormatVersion << ", found v" << version);
   const auto count = read<std::uint32_t>(blob, offset);
   CA5G_CHECK_MSG(count == params.size(),
                  "parameter count mismatch: blob has " << count << ", model has "
@@ -85,7 +98,13 @@ void load_parameters(std::vector<Tensor>& params, const std::string& path) {
   std::vector<std::uint8_t> blob(size);
   in.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(size));
   CA5G_CHECK_MSG(in.good(), "read failed: " << path);
-  deserialize_parameters(blob, params);
+  try {
+    deserialize_parameters(blob, params);
+  } catch (const common::CheckError& e) {
+    // Re-raise with the offending file named: a version/magic mismatch on
+    // load should point at the artifact, not just the blob internals.
+    CA5G_CHECK_MSG(false, "while loading " << path << ": " << e.what());
+  }
 }
 
 }  // namespace ca5g::nn

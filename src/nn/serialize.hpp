@@ -1,6 +1,8 @@
 // Parameter serialization: save/load the trainable tensors of a model
-// to a small binary format (magic + per-tensor dims + float32 payload).
-// Enables train-once / deploy-many workflows for the predictors.
+// to a small binary format (magic + format version + per-tensor dims +
+// float32 payload). Enables train-once / deploy-many workflows for the
+// predictors; the serving layer's ModelRegistry loads deep models
+// through these on hot-swap.
 #pragma once
 
 #include <string>
@@ -9,6 +11,11 @@
 #include "nn/tensor.hpp"
 
 namespace ca5g::nn {
+
+/// Current parameter-blob format version, written right after the magic.
+/// Bump on any layout change; loaders reject other versions with a clear
+/// expected-vs-found error instead of reading garbage weights.
+inline constexpr std::uint32_t kSerializeFormatVersion = 2;
 
 /// Serialize parameter tensors to a binary blob.
 [[nodiscard]] std::vector<std::uint8_t> serialize_parameters(

@@ -196,6 +196,25 @@ std::vector<double> DeepPredictor::predict(const traces::Window& w) const {
   return out;
 }
 
+std::vector<std::vector<double>> DeepPredictor::predict_many(
+    std::span<const traces::Window* const> windows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(windows.size());
+  const std::size_t chunk = std::max<std::size_t>(1, config_.batch_size);
+  for (std::size_t start = 0; start < windows.size(); start += chunk) {
+    const auto batch = windows.subspan(start, std::min(chunk, windows.size() - start));
+    const nn::Tensor pred = forward_batch(batch, /*training=*/false);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      std::vector<double> row;
+      row.reserve(horizon_);
+      for (std::size_t h = 0; h < horizon_; ++h)
+        row.push_back(std::clamp<double>(pred.at(b, h), 0.0, 1.5));
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
 // ---- LSTM baseline -------------------------------------------------------------
 
 void LstmPredictor::build(const traces::Dataset& ds, common::Rng& rng) {

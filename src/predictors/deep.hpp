@@ -30,6 +30,12 @@ class DeepPredictor : public Predictor {
 
   [[nodiscard]] std::vector<double> predict(const traces::Window& w) const final;
 
+  /// Real batched inference: chunks `windows` into forward_batch calls
+  /// of at most the training batch size, so a serving micro-batch costs
+  /// one forward pass instead of one per window.
+  [[nodiscard]] std::vector<std::vector<double>> predict_many(
+      std::span<const traces::Window* const> windows) const final;
+
   /// Validation RMSE trajectory of the last fit (for tests/benches).
   [[nodiscard]] const std::vector<double>& val_history() const noexcept {
     return val_history_;

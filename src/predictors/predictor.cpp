@@ -34,43 +34,53 @@ TrainConfig train_config_from_env() {
   return config;
 }
 
-double evaluate_rmse(const Predictor& model,
-                     std::span<const traces::Window* const> test) {
-  CA5G_CHECK_MSG(!test.empty(), "evaluate_rmse on empty test set");
+std::vector<std::vector<double>> Predictor::predict_many(
+    std::span<const traces::Window* const> windows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(windows.size());
+  for (const traces::Window* w : windows) out.push_back(predict(*w));
+  return out;
+}
+
+namespace {
+
+/// Shared evaluation walk: batched inference over the test set, then
+/// prediction/truth pairs truncated to each window's available target.
+void collect_predictions(const Predictor& model,
+                         std::span<const traces::Window* const> test,
+                         std::vector<double>& pred, std::vector<double>& truth) {
   CA5G_METRIC_HISTOGRAM(inference_ns, "predictor.inference_ns");
   CA5G_METRIC_COUNTER(samples, "predictor.samples_total");
-  std::vector<double> pred, truth;
-  for (const traces::Window* w : test) {
-    samples.inc();
-    const auto p = [&] {
-      CA5G_SCOPED_TIMER(inference_ns);
-      return model.predict(*w);
-    }();
+  samples.inc(test.size());
+  const auto predictions = [&] {
+    CA5G_SCOPED_TIMER(inference_ns);
+    return model.predict_many(test);
+  }();
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const auto& p = predictions[i];
+    const traces::Window* w = test[i];
     const std::size_t n = std::min(p.size(), w->target.size());
     pred.insert(pred.end(), p.begin(), p.begin() + static_cast<std::ptrdiff_t>(n));
     truth.insert(truth.end(), w->target.begin(),
                  w->target.begin() + static_cast<std::ptrdiff_t>(n));
   }
+}
+
+}  // namespace
+
+double evaluate_rmse(const Predictor& model,
+                     std::span<const traces::Window* const> test) {
+  CA5G_CHECK_MSG(!test.empty(), "evaluate_rmse on empty test set");
+  std::vector<double> pred, truth;
+  collect_predictions(model, test, pred, truth);
   return common::rmse(pred, truth);
 }
 
 double evaluate_mae(const Predictor& model,
                     std::span<const traces::Window* const> test) {
   CA5G_CHECK_MSG(!test.empty(), "evaluate_mae on empty test set");
-  CA5G_METRIC_HISTOGRAM(inference_ns, "predictor.inference_ns");
-  CA5G_METRIC_COUNTER(samples, "predictor.samples_total");
   std::vector<double> pred, truth;
-  for (const traces::Window* w : test) {
-    samples.inc();
-    const auto p = [&] {
-      CA5G_SCOPED_TIMER(inference_ns);
-      return model.predict(*w);
-    }();
-    const std::size_t n = std::min(p.size(), w->target.size());
-    pred.insert(pred.end(), p.begin(), p.begin() + static_cast<std::ptrdiff_t>(n));
-    truth.insert(truth.end(), w->target.begin(),
-                 w->target.begin() + static_cast<std::ptrdiff_t>(n));
-  }
+  collect_predictions(model, test, pred, truth);
   return common::mae(pred, truth);
 }
 

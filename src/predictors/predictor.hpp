@@ -45,6 +45,15 @@ class Predictor {
 
   /// Predict the normalized aggregate throughput for the full horizon.
   [[nodiscard]] virtual std::vector<double> predict(const traces::Window& w) const = 0;
+
+  /// Batched prediction: one horizon vector per input window, in order.
+  /// The default loops over predict(); models with a real batched
+  /// forward pass (the deep family) override it so a serving batch
+  /// costs one forward instead of |windows|. Must be thread-safe on a
+  /// fitted model, like predict() — the serving layer calls it from
+  /// several worker threads concurrently.
+  [[nodiscard]] virtual std::vector<std::vector<double>> predict_many(
+      std::span<const traces::Window* const> windows) const;
 };
 
 /// RMSE of a fitted predictor over test windows (all horizon steps),

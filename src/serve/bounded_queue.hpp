@@ -1,0 +1,100 @@
+// Bounded MPMC request queue with batch-or-deadline consumption: the
+// backbone of the prediction server's micro-batching dispatch. Producers
+// never block — try_push() is the admission-control point and returns
+// false when the queue is full, which the server surfaces as load
+// shedding. Consumers pop whole batches: pop_batch() blocks until at
+// least one item is available, then keeps gathering until either the
+// batch is full or the batch deadline (measured from the first pop)
+// expires — so a saturated server runs at max batch size while a nearly
+// idle one still bounds per-request latency by the deadline.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace ca5g::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    CA5G_CHECK_MSG(capacity_ > 0, "BoundedQueue capacity must be positive");
+  }
+
+  /// Non-blocking producer path. False when full or closed (the caller
+  /// sheds the request); true once the item is queued.
+  [[nodiscard]] bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Gather up to `max` items into `out` (appended). Blocks until at
+  /// least one item arrives or the queue is closed; after the first item
+  /// keeps collecting until `max` items or `deadline` elapses. Returns
+  /// the number of items appended (0 only when closed and drained).
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max,
+                        std::chrono::microseconds deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return 0;  // closed and drained
+
+    std::size_t popped = 0;
+    const auto batch_deadline = std::chrono::steady_clock::now() + deadline;
+    for (;;) {
+      while (popped < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++popped;
+      }
+      if (popped >= max || closed_) break;
+      if (!not_empty_.wait_until(lock, batch_deadline,
+                                 [&] { return closed_ || !items_.empty(); }))
+        break;  // deadline fired: dispatch the partial batch
+      if (items_.empty()) break;  // woken by close()
+    }
+    return popped;
+  }
+
+  /// Close the queue: producers start failing, consumers drain what is
+  /// left and then see pop_batch() return 0.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ca5g::serve

@@ -1,0 +1,127 @@
+#include "serve/loadgen.hpp"
+
+#include <limits>
+#include <thread>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "obs/trace_span.hpp"
+
+namespace ca5g::serve {
+
+LoadGen::LoadGen(const LoadGenConfig& config) : config_(config) {
+  CA5G_CHECK_MSG(config_.ues >= 1, "loadgen needs at least one UE");
+  CA5G_CHECK_MSG(config_.speed >= 1.0 && config_.speed <= 1000.0,
+                 "loadgen speed must be in [1, 1000]");
+  CA5G_CHECK_MSG(!config_.closed_loop || config_.max_in_flight >= 1,
+                 "closed-loop loadgen needs max_in_flight >= 1");
+}
+
+PredictionServer::CompletionFn LoadGen::completion() {
+  return [this](const Prediction& p) { on_complete(p); };
+}
+
+void LoadGen::on_complete(const Prediction& p) {
+  CA5G_METRIC_COUNTER(loadgen_errors, "serve.loadgen_errors_total");
+  const bool horizon_ok =
+      !p.horizon.empty() &&
+      (config_.expected_horizon == 0 || p.horizon.size() == config_.expected_horizon);
+  if (p.ok && horizon_ok) {
+    completed_ok_.fetch_add(1, std::memory_order_relaxed);
+    latency_hist_.observe(static_cast<double>(p.latency_ns));
+  } else {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    loadgen_errors.inc();
+  }
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (config_.closed_loop) {
+    // Pair the notify with the driver's mutex so a decrement landing
+    // between its predicate check and its sleep cannot be lost.
+    { std::lock_guard<std::mutex> lock(mu_); }
+    in_flight_cv_.notify_one();
+  }
+}
+
+LoadGenReport LoadGen::run(PredictionServer& server, const sim::Trace& trace) {
+  CA5G_CHECK_MSG(!trace.samples.empty(), "loadgen replay of an empty trace");
+  CA5G_METRIC_COUNTER(offered_counter, "serve.loadgen_offered_total");
+
+  const std::size_t n = trace.samples.size();
+  // Seed-derived per-UE start offsets: deterministic, spread across the
+  // trace so the UEs' CA dynamics decorrelate.
+  common::Rng rng(config_.seed);
+  std::vector<std::size_t> offsets(config_.ues);
+  for (std::size_t u = 0; u < config_.ues; ++u)
+    offsets[u] = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+
+  LoadGenReport report;
+  completed_ok_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  in_flight_.store(0, std::memory_order_relaxed);
+  latency_hist_.reset();
+
+  const double step_budget_s = trace.step_s / config_.speed;
+  const auto start = std::chrono::steady_clock::now();
+  obs::StopWatch watch;
+
+  const std::size_t max_steps = config_.duration_s > 0.0
+                                    ? std::numeric_limits<std::size_t>::max()
+                                    : n;  // one full pass when untimed
+  bool server_closed = false;
+  for (std::size_t step = 0; step < max_steps && !server_closed; ++step) {
+    for (std::size_t u = 0; u < config_.ues; ++u) {
+      if (config_.closed_loop) {
+        std::unique_lock<std::mutex> lock(mu_);
+        in_flight_cv_.wait(lock, [&] {
+          return in_flight_.load(std::memory_order_acquire) <
+                 static_cast<std::int64_t>(config_.max_in_flight);
+        });
+      }
+      const auto& sample = trace.samples[(offsets[u] + step) % n];
+      ++report.offered;
+      offered_counter.inc();
+      // Count the request in flight before submitting: the completion can
+      // arrive (and decrement) before submit() even returns.
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      const Admit admit = server.submit(static_cast<UeId>(u + 1), sample);
+      if (admit == Admit::kQueued) {
+        ++report.admitted;
+      } else {
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        if (admit == Admit::kWarmingUp) ++report.warmup;
+        if (admit == Admit::kShed) ++report.shed;
+        if (admit == Admit::kClosed) {
+          server_closed = true;
+          break;
+        }
+      }
+    }
+    if (server_closed) break;
+    if (config_.duration_s > 0.0 && watch.elapsed_s() >= config_.duration_s) break;
+    if (!config_.closed_loop) {
+      // Open loop: pace to the trace clock. Sleeping a fixed slice every
+      // step would drift under high speed-ups; re-sync to the absolute
+      // schedule instead.
+      const auto target =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          (static_cast<double>(step) + 1.0) * step_budget_s));
+      if (target > std::chrono::steady_clock::now())
+        std::this_thread::sleep_until(target);
+    }
+  }
+
+  server.drain();
+  report.wall_s = watch.elapsed_s();
+  report.completed = completed_ok_.load(std::memory_order_relaxed);
+  report.errors = errors_.load(std::memory_order_relaxed);
+  report.completed_per_s =
+      report.wall_s > 0.0 ? static_cast<double>(report.completed) / report.wall_s : 0.0;
+  const auto snapshot = obs::HistogramSnapshot::from("loadgen.latency_ns", latency_hist_);
+  report.p50_latency_ns = snapshot.quantile(0.50);
+  report.p99_latency_ns = snapshot.quantile(0.99);
+  return report;
+}
+
+}  // namespace ca5g::serve

@@ -1,0 +1,79 @@
+// Deterministic trace-replay load generator. Replays a recorded (or
+// simulated) sim::Trace through a PredictionServer as N concurrent UEs,
+// each starting at a seed-derived offset into the trace so their CA
+// dynamics decorrelate. Two pacing modes:
+//
+//   open loop    samples are offered on the trace's own clock scaled by
+//                `speed` (1× = real time, 1000× = as fast as 1000 UEs'
+//                worth of real time); the server sheds what it cannot
+//                absorb — this measures behaviour under a fixed offered
+//                load.
+//   closed loop  at most `max_in_flight` requests outstanding; the
+//                driver waits for completions before offering more —
+//                this measures peak sustainable throughput and keeps
+//                p99 latency bounded by max_in_flight / throughput.
+//
+// The submission sequence is a pure function of (trace, config): a
+// single driver thread walks UEs round-robin per step, so two runs offer
+// identical request streams (completion interleaving naturally varies).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace ca5g::serve {
+
+struct LoadGenConfig {
+  std::size_t ues = 8;
+  double speed = 100.0;  ///< replay speed multiplier (open loop), 1–1000×
+  bool closed_loop = false;
+  std::size_t max_in_flight = 256;  ///< closed-loop outstanding cap
+  double duration_s = 2.0;  ///< wall-clock budget; 0 = one full trace pass
+  std::uint64_t seed = 7;   ///< derives per-UE start offsets
+  std::size_t expected_horizon = 0;  ///< horizon length check; 0 = only non-empty
+};
+
+/// Aggregate outcome of one replay run.
+struct LoadGenReport {
+  std::uint64_t offered = 0;     ///< submit() calls
+  std::uint64_t admitted = 0;    ///< kQueued
+  std::uint64_t completed = 0;   ///< ok predictions delivered
+  std::uint64_t warmup = 0;      ///< kWarmingUp
+  std::uint64_t shed = 0;        ///< kShed
+  std::uint64_t errors = 0;      ///< failed predictions or bad horizons
+  double wall_s = 0.0;
+  double completed_per_s = 0.0;
+  double p50_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+};
+
+class LoadGen {
+ public:
+  explicit LoadGen(const LoadGenConfig& config);
+
+  /// The completion callback to construct the PredictionServer with.
+  /// Must be wired to the same server later passed to run().
+  [[nodiscard]] PredictionServer::CompletionFn completion();
+
+  /// Replay `trace` through `server`. Blocks until the run's budget is
+  /// exhausted and every admitted request has completed.
+  [[nodiscard]] LoadGenReport run(PredictionServer& server, const sim::Trace& trace);
+
+ private:
+  void on_complete(const Prediction& p);
+
+  LoadGenConfig config_;
+  std::atomic<std::uint64_t> completed_ok_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::int64_t> in_flight_{0};
+  obs::Histogram latency_hist_{obs::HistogramSpec::nanoseconds()};
+  std::mutex mu_;
+  std::condition_variable in_flight_cv_;
+};
+
+}  // namespace ca5g::serve

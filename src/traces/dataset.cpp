@@ -14,9 +14,10 @@ double norm_rsrp(double dbm) { return std::clamp((dbm + 140.0) / 70.0, 0.0, 1.0)
 double norm_rsrq(double db) { return std::clamp((db + 20.0) / 15.0, 0.0, 1.0); }
 double norm_sinr(double db) { return std::clamp((db + 15.0) / 50.0, 0.0, 1.0); }
 
-std::vector<double> cc_features(const sim::CcSample& cc, double tput_scale) {
-  std::vector<double> f(kCcFeatureDim, 0.0);
-  if (!cc.active) return f;  // inactive slots are zeroed, as in the paper's mask
+void cc_features_into(const sim::CcSample& cc, double tput_scale,
+                      std::vector<double>& f) {
+  f.assign(kCcFeatureDim, 0.0);
+  if (!cc.active) return;  // inactive slots are zeroed, as in the paper's mask
   f[kFeatActive] = 1.0;
   f[kFeatPcell] = cc.is_pcell ? 1.0 : 0.0;
   f[kFeatBand] = (static_cast<double>(cc.band) + 1.0) / (phy::kBandCount + 1.0);
@@ -30,10 +31,24 @@ std::vector<double> cc_features(const sim::CcSample& cc, double tput_scale) {
   f[kFeatLayers] = cc.layers / 4.0;
   f[kFeatMcs] = cc.mcs / 27.0;
   f[kFeatTput] = cc.tput_mbps / tput_scale;
-  return f;
 }
 
 }  // namespace
+
+void featurize_step(const sim::TraceSample& s, std::size_t cc_slots,
+                    double tput_scale_mbps, StepFeatures& out) {
+  out.cc.resize(cc_slots);
+  out.mask.resize(cc_slots);
+  for (std::size_t c = 0; c < cc_slots; ++c) {
+    const sim::CcSample& cc = c < s.ccs.size() ? s.ccs[c] : sim::CcSample{};
+    cc_features_into(cc, tput_scale_mbps, out.cc[c]);
+    out.mask[c] = cc.active ? 1.0 : 0.0;
+  }
+  out.global.assign({s.events.empty() ? 0.0 : 1.0,
+                     static_cast<double>(s.active_cc_count()) /
+                         static_cast<double>(cc_slots)});
+  out.agg = s.aggregate_tput_mbps / tput_scale_mbps;
+}
 
 Window build_window(const std::vector<sim::TraceSample>& samples, std::size_t start,
                     const DatasetSpec& spec, std::size_t cc_slots, double tput_scale_mbps,
@@ -45,22 +60,13 @@ Window build_window(const std::vector<sim::TraceSample>& samples, std::size_t st
 
   Window w;
   w.cc_feat.reserve(spec.history);
+  StepFeatures step;
   for (std::size_t t = 0; t < spec.history; ++t) {
-    const auto& s = samples[start + t];
-    std::vector<std::vector<double>> step_feat;
-    std::vector<double> step_mask;
-    step_feat.reserve(cc_slots);
-    for (std::size_t c = 0; c < cc_slots; ++c) {
-      const sim::CcSample& cc = c < s.ccs.size() ? s.ccs[c] : sim::CcSample{};
-      step_feat.push_back(cc_features(cc, tput_scale_mbps));
-      step_mask.push_back(cc.active ? 1.0 : 0.0);
-    }
-    w.cc_feat.push_back(std::move(step_feat));
-    w.mask.push_back(std::move(step_mask));
-    w.global.push_back({s.events.empty() ? 0.0 : 1.0,
-                        static_cast<double>(s.active_cc_count()) /
-                            static_cast<double>(cc_slots)});
-    w.agg_history.push_back(s.aggregate_tput_mbps / tput_scale_mbps);
+    featurize_step(samples[start + t], cc_slots, tput_scale_mbps, step);
+    w.cc_feat.push_back(step.cc);
+    w.mask.push_back(step.mask);
+    w.global.push_back(step.global);
+    w.agg_history.push_back(step.agg);
   }
   const std::size_t horizon_avail =
       std::min(spec.horizon, samples.size() - start - spec.history);

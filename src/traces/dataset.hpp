@@ -63,6 +63,27 @@ struct DatasetSpec {
   std::size_t stride = 1;
 };
 
+/// Normalized features of a single trace step: exactly what one history
+/// row of a Window holds. Shared by the batch windowing below and by the
+/// serve path's per-UE ring buffers, which featurize each sample once at
+/// ingest instead of rebuilding whole windows per request.
+struct StepFeatures {
+  /// [C][kCcFeatureDim] normalized per-CC features.
+  std::vector<std::vector<double>> cc;
+  /// [C] binary activation mask.
+  std::vector<double> mask;
+  /// [kGlobalFeatureDim] global features (RRC event flag, CC count).
+  std::vector<double> global;
+  /// Normalized aggregate throughput.
+  double agg = 0.0;
+};
+
+/// Featurize one trace step into `out`, reusing its existing capacity
+/// (no allocation once `out` has been through one call with the same
+/// `cc_slots`). Normalization matches build_window exactly.
+void featurize_step(const sim::TraceSample& s, std::size_t cc_slots,
+                    double tput_scale_mbps, StepFeatures& out);
+
 /// Build one window from trace samples starting at `start` (history
 /// begins there; targets follow). Used by Dataset and by the QoE apps'
 /// streaming predictors. `allow_short_target` permits fewer than

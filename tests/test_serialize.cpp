@@ -1,7 +1,9 @@
 // Tests for parameter serialization and model save/load round trips.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 
 #include "common/check.hpp"
 #include "core/prism5g.hpp"
@@ -49,6 +51,76 @@ TEST(Serialize, DetectsCorruption) {
   // Count mismatch.
   std::vector<Tensor> wrong_count{Tensor(2, 2, true), Tensor(2, 2, true)};
   EXPECT_THROW(nn::deserialize_parameters(blob, wrong_count), common::CheckError);
+}
+
+TEST(Serialize, RejectsFormatVersionMismatchWithExpectedAndFound) {
+  common::Rng rng(5);
+  std::vector<Tensor> params{Tensor::randn(rng, 2, 3, 1.0f)};
+  auto blob = nn::serialize_parameters(params);
+
+  // The version word sits right after the 4-byte magic; forge a future one.
+  const std::uint32_t future = nn::kSerializeFormatVersion + 7;
+  std::memcpy(blob.data() + 4, &future, sizeof(future));
+
+  std::vector<Tensor> target{Tensor(2, 3, true)};
+  try {
+    nn::deserialize_parameters(blob, target);
+    FAIL() << "version mismatch must throw";
+  } catch (const common::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected v" + std::to_string(nn::kSerializeFormatVersion)),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("found v" + std::to_string(future)), std::string::npos) << msg;
+  }
+}
+
+TEST(Serialize, DiagnosesLegacyV1Blob) {
+  // A v1 blob started with the old magic and went straight to the tensor
+  // count — no version word. The loader must name it legacy, not report
+  // a garbage version.
+  std::vector<std::uint8_t> legacy;
+  const std::uint32_t old_magic = 0xCA5610A0;
+  legacy.resize(sizeof(old_magic));
+  std::memcpy(legacy.data(), &old_magic, sizeof(old_magic));
+
+  std::vector<Tensor> target{Tensor(1, 1, true)};
+  try {
+    nn::deserialize_parameters(legacy, target);
+    FAIL() << "legacy v1 blob must throw";
+  } catch (const common::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("legacy parameter blob (format v1)"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, LoadErrorNamesTheFile) {
+  common::Rng rng(6);
+  std::vector<Tensor> params{Tensor::randn(rng, 2, 2, 1.0f)};
+  auto blob = nn::serialize_parameters(params);
+  const std::uint32_t future = nn::kSerializeFormatVersion + 1;
+  std::memcpy(blob.data() + 4, &future, sizeof(future));
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ca5g_stale_version.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+  }
+
+  std::vector<Tensor> target{Tensor(2, 2, true)};
+  try {
+    nn::load_parameters(target, path);
+    FAIL() << "loading a future-version file must throw";
+  } catch (const common::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("version mismatch"), std::string::npos) << msg;
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(Serialize, FileRoundTripPreservesPredictions) {

@@ -1,0 +1,400 @@
+// Tests for the serving subsystem: bounded queue semantics, streaming
+// session windows (must match batch build_window feature-for-feature),
+// the model registry's hot-swap, and the PredictionServer's edge cases —
+// warm-up rejection, queue-full shedding, hot-swap mid-stream, and a
+// batch deadline firing with a partial batch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "predictors/naive.hpp"
+#include "serve/bounded_queue.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "test_helpers.hpp"
+#include "traces/dataset.hpp"
+
+namespace {
+
+using namespace ca5g;
+using namespace std::chrono_literals;
+
+// --- Test predictors ---------------------------------------------------------
+
+/// Predicts a constant horizon; lets tests fingerprint which model served.
+class ConstPredictor final : public predictors::Predictor {
+ public:
+  explicit ConstPredictor(double value, std::size_t horizon = 10)
+      : value_(value), horizon_(horizon) {}
+  [[nodiscard]] std::string name() const override { return "Const"; }
+  void fit(const traces::Dataset&, std::span<const traces::Window* const>,
+           std::span<const traces::Window* const>) override {}
+  [[nodiscard]] std::vector<double> predict(const traces::Window&) const override {
+    return std::vector<double>(horizon_, value_);
+  }
+
+ private:
+  double value_;
+  std::size_t horizon_;
+};
+
+/// Echoes the newest normalized aggregate throughput of the window: lets
+/// tests assert end-to-end that the served window tracked the stream.
+class EchoPredictor final : public predictors::Predictor {
+ public:
+  [[nodiscard]] std::string name() const override { return "Echo"; }
+  void fit(const traces::Dataset&, std::span<const traces::Window* const>,
+           std::span<const traces::Window* const>) override {}
+  [[nodiscard]] std::vector<double> predict(const traces::Window& w) const override {
+    return {w.agg_history.back()};
+  }
+};
+
+/// Sleeps per batch so tests can wedge the queue and force shedding.
+class SlowPredictor final : public predictors::Predictor {
+ public:
+  explicit SlowPredictor(std::chrono::milliseconds delay) : delay_(delay) {}
+  [[nodiscard]] std::string name() const override { return "Slow"; }
+  void fit(const traces::Dataset&, std::span<const traces::Window* const>,
+           std::span<const traces::Window* const>) override {}
+  [[nodiscard]] std::vector<double> predict(const traces::Window&) const override {
+    std::this_thread::sleep_for(delay_);
+    return {0.0};
+  }
+  [[nodiscard]] std::vector<std::vector<double>> predict_many(
+      std::span<const traces::Window* const> windows) const override {
+    std::this_thread::sleep_for(delay_);
+    return std::vector<std::vector<double>>(windows.size(), std::vector<double>{0.0});
+  }
+
+ private:
+  std::chrono::milliseconds delay_;
+};
+
+/// Thread-safe completion sink.
+struct Collector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<serve::Prediction> preds;
+
+  serve::PredictionServer::CompletionFn fn() {
+    return [this](const serve::Prediction& p) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        preds.push_back(p);
+      }
+      cv.notify_all();
+    };
+  }
+
+  /// Blocks until `n` completions arrived (or 5 s passed); returns count.
+  std::size_t wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, 5s, [&] { return preds.size() >= n; });
+    return preds.size();
+  }
+
+  std::vector<serve::Prediction> snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return preds;
+  }
+};
+
+serve::ServerConfig small_config() {
+  serve::ServerConfig config;
+  config.workers = 2;
+  config.max_batch = 8;
+  config.batch_deadline = std::chrono::microseconds(500);
+  config.queue_capacity = 64;
+  config.history = 10;
+  config.cc_slots = 4;
+  config.tput_scale_mbps = 1000.0;
+  return config;
+}
+
+// --- BoundedQueue ------------------------------------------------------------
+
+TEST(BoundedQueue, FifoAndCapacity) {
+  serve::BoundedQueue<int> q(3);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));  // full: admission control sheds
+  EXPECT_EQ(q.size(), 3u);
+
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 8, std::chrono::microseconds(100)), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsShutdown) {
+  serve::BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_FALSE(q.try_push(8));  // closed
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 4, std::chrono::microseconds(100)), 1u);
+  EXPECT_EQ(q.pop_batch(out, 4, std::chrono::microseconds(100)), 0u);  // drained
+}
+
+TEST(BoundedQueue, PopBatchHonorsDeadlineWithPartialBatch) {
+  serve::BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  std::vector<int> out;
+  const auto start = std::chrono::steady_clock::now();
+  // Asks for 8, only 1 available: must return after ~deadline, not hang.
+  EXPECT_EQ(q.pop_batch(out, 8, std::chrono::milliseconds(5)), 1u);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 2s);
+}
+
+// --- UeSession / SessionTable ------------------------------------------------
+
+TEST(UeSession, StreamingWindowMatchesBatchBuildWindow) {
+  const auto trace = test::synthetic_trace(40);
+  const double scale = 900.0;
+  traces::DatasetSpec spec;  // history 10, horizon 10
+
+  serve::UeSession session(spec.history, trace.cc_slots, scale);
+  for (std::size_t i = 0; i < 25; ++i) session.push(trace.samples[i]);
+  ASSERT_TRUE(session.warm());
+
+  traces::Window streamed;
+  session.snapshot(streamed);
+  // After 25 pushes the window covers samples [15, 25).
+  const auto batch = traces::build_window(trace.samples, 15, spec, trace.cc_slots,
+                                          scale, /*allow_short_target=*/true);
+  EXPECT_EQ(streamed.cc_feat, batch.cc_feat);
+  EXPECT_EQ(streamed.mask, batch.mask);
+  EXPECT_EQ(streamed.global, batch.global);
+  EXPECT_EQ(streamed.agg_history, batch.agg_history);
+  EXPECT_TRUE(streamed.target.empty());
+}
+
+TEST(SessionTable, WarmupEraseAndCounts) {
+  const auto trace = test::synthetic_trace(30);
+  serve::SessionTable table(4, 10, trace.cc_slots, 900.0);
+  for (std::size_t i = 0; i < 9; ++i) {
+    const auto r = table.push(77, trace.samples[i]);
+    EXPECT_FALSE(r.warm);
+  }
+  EXPECT_TRUE(table.push(77, trace.samples[9]).warm);
+  EXPECT_EQ(table.session_count(), 1u);
+
+  traces::Window w;
+  EXPECT_TRUE(table.snapshot(77, w));
+  EXPECT_FALSE(table.snapshot(78, w));  // unknown UE
+  EXPECT_TRUE(table.erase(77));
+  EXPECT_FALSE(table.erase(77));
+  EXPECT_FALSE(table.snapshot(77, w));
+  EXPECT_EQ(table.session_count(), 0u);
+}
+
+// --- ModelRegistry -----------------------------------------------------------
+
+TEST(ModelRegistry, InstallSelectAndHotSwapVersions) {
+  serve::ModelRegistry registry;
+  EXPECT_EQ(registry.current().model, nullptr);
+
+  const auto v1 = registry.install("a", std::make_shared<ConstPredictor>(0.1));
+  const auto v2 = registry.install("b", std::make_shared<ConstPredictor>(0.2));
+  EXPECT_LT(v1, v2);
+  EXPECT_EQ(registry.current().name, "a");  // first install becomes current
+
+  EXPECT_TRUE(registry.select("b"));
+  EXPECT_EQ(registry.current().name, "b");
+  EXPECT_EQ(registry.current().version, v2);
+  EXPECT_FALSE(registry.select("nope"));
+
+  // Replacing the selected entry hot-swaps what current() pins.
+  const auto v3 = registry.install("b", std::make_shared<ConstPredictor>(0.3));
+  EXPECT_GT(v3, v2);
+  EXPECT_EQ(registry.current().version, v3);
+  EXPECT_EQ(registry.names().size(), 2u);
+}
+
+// --- PredictionServer edge cases --------------------------------------------
+
+TEST(PredictionServer, WarmupRejectionUntilWindowFull) {
+  const auto trace = test::synthetic_trace(30);
+  serve::ModelRegistry registry;
+  registry.install("const", std::make_shared<ConstPredictor>(0.5));
+  Collector sink;
+  serve::PredictionServer server(small_config(), registry, sink.fn());
+
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_EQ(server.submit(1, trace.samples[i]), serve::Admit::kWarmingUp);
+  EXPECT_EQ(server.submit(1, trace.samples[9]), serve::Admit::kQueued);
+  server.drain();
+  ASSERT_EQ(sink.wait_for(1), 1u);
+  const auto preds = sink.snapshot();
+  EXPECT_TRUE(preds[0].ok);
+  EXPECT_EQ(preds[0].seq, 10u);
+  EXPECT_EQ(preds[0].horizon, std::vector<double>(10, 0.5));
+}
+
+TEST(PredictionServer, ServedWindowTracksTheStream) {
+  const auto trace = test::synthetic_trace(60);
+  const double scale = 1200.0;
+  serve::ModelRegistry registry;
+  registry.install("echo", std::make_shared<EchoPredictor>());
+  auto config = small_config();
+  config.tput_scale_mbps = scale;
+  Collector sink;
+  serve::PredictionServer server(config, registry, sink.fn());
+
+  // Windows are snapshotted at dispatch, so drain between submits to pin
+  // each batch's view of the stream: the completion for sample i must
+  // echo sample i's normalized throughput as the newest window entry.
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (server.submit(5, trace.samples[i]) != serve::Admit::kQueued) continue;
+    ++admitted;
+    server.drain();
+    ASSERT_EQ(sink.wait_for(admitted), admitted);
+    const auto p = sink.snapshot().back();
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.seq, i + 1);
+    ASSERT_EQ(p.horizon.size(), 1u);
+    EXPECT_DOUBLE_EQ(p.horizon[0], trace.samples[i].aggregate_tput_mbps / scale);
+  }
+  EXPECT_EQ(admitted, 31u);  // samples 10..40 of a warm session
+}
+
+TEST(PredictionServer, QueueFullSheds) {
+  const auto trace = test::synthetic_trace(400);
+  serve::ModelRegistry registry;
+  registry.install("slow", std::make_shared<SlowPredictor>(20ms));
+  auto config = small_config();
+  config.workers = 1;
+  config.max_batch = 1;
+  config.queue_capacity = 2;
+  config.batch_deadline = std::chrono::microseconds(100);
+  Collector sink;
+  serve::PredictionServer server(config, registry, sink.fn());
+
+  std::size_t shed = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto admit = server.submit(9, trace.samples[i % trace.samples.size()]);
+    if (admit == serve::Admit::kShed) ++shed;
+  }
+  EXPECT_GT(shed, 0u) << "a wedged 2-slot queue must shed a 200-request burst";
+  server.drain();  // the admitted remainder still completes
+}
+
+TEST(PredictionServer, HotSwapMidStream) {
+  const auto trace = test::synthetic_trace(200);
+  serve::ModelRegistry registry;
+  const auto v_old = registry.install("prod", std::make_shared<ConstPredictor>(0.25));
+  Collector sink;
+  serve::PredictionServer server(small_config(), registry, sink.fn());
+
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < 50; ++i)
+    if (server.submit(3, trace.samples[i]) == serve::Admit::kQueued) ++admitted;
+  server.drain();
+
+  // Swap under the same name while the server keeps streaming.
+  const auto v_new = registry.install("prod", std::make_shared<ConstPredictor>(0.75));
+  ASSERT_GT(v_new, v_old);
+  for (std::size_t i = 50; i < 100; ++i)
+    if (server.submit(3, trace.samples[i]) == serve::Admit::kQueued) ++admitted;
+  server.drain();
+  ASSERT_EQ(sink.wait_for(admitted), admitted);
+
+  const auto preds = sink.snapshot();
+  bool saw_old = false, saw_new = false;
+  for (const auto& p : preds) {
+    ASSERT_TRUE(p.ok);
+    if (p.model_version == v_old) {
+      saw_old = true;
+      EXPECT_EQ(p.horizon[0], 0.25);
+    } else {
+      EXPECT_EQ(p.model_version, v_new);
+      saw_new = true;
+      EXPECT_EQ(p.horizon[0], 0.75);
+    }
+  }
+  EXPECT_TRUE(saw_old);
+  EXPECT_TRUE(saw_new);
+  // Completions delivered after the swap must come from the new model.
+  EXPECT_EQ(preds.back().model_version, v_new);
+}
+
+TEST(PredictionServer, BatchDeadlineFiresPartialBatch) {
+  const auto trace = test::synthetic_trace(30);
+  serve::ModelRegistry registry;
+  registry.install("const", std::make_shared<ConstPredictor>(0.5));
+  auto config = small_config();
+  config.workers = 1;
+  config.max_batch = 64;  // far more than the traffic we offer
+  config.batch_deadline = std::chrono::milliseconds(2);
+  Collector sink;
+  serve::PredictionServer server(config, registry, sink.fn());
+
+  // Warm three UEs, then offer exactly one request each and go silent:
+  // only the deadline can dispatch this 3-request batch.
+  for (std::size_t i = 0; i < 9; ++i)
+    for (serve::UeId ue = 1; ue <= 3; ++ue) server.submit(ue, trace.samples[i]);
+  for (serve::UeId ue = 1; ue <= 3; ++ue)
+    EXPECT_EQ(server.submit(ue, trace.samples[9]), serve::Admit::kQueued);
+
+  EXPECT_EQ(sink.wait_for(3), 3u);
+  for (const auto& p : sink.snapshot()) EXPECT_TRUE(p.ok);
+}
+
+TEST(PredictionServer, SubmitAfterStopIsClosed) {
+  const auto trace = test::synthetic_trace(15);
+  serve::ModelRegistry registry;
+  registry.install("const", std::make_shared<ConstPredictor>(0.5));
+  Collector sink;
+  serve::PredictionServer server(small_config(), registry, sink.fn());
+  server.stop();
+  EXPECT_EQ(server.submit(1, trace.samples[0]), serve::Admit::kClosed);
+}
+
+// --- LoadGen -----------------------------------------------------------------
+
+TEST(LoadGen, ClosedLoopReplayCompletesWithoutErrors) {
+  const auto trace = test::synthetic_trace(300);
+  traces::DatasetSpec spec;
+  const auto ds = traces::Dataset::from_traces({trace}, spec);
+
+  serve::ModelRegistry registry;
+  auto model = std::make_shared<predictors::HarmonicMeanPredictor>();
+  common::Rng rng(3);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  model->fit(ds, split.train, split.val);
+  registry.install("hm", model);
+
+  serve::ServerConfig server_config = small_config();
+  server_config.tput_scale_mbps = ds.tput_scale_mbps();
+
+  serve::LoadGenConfig gen_config;
+  gen_config.ues = 4;
+  gen_config.speed = 1000.0;
+  gen_config.closed_loop = true;
+  gen_config.max_in_flight = 32;
+  gen_config.duration_s = 0.0;  // one full deterministic pass
+  gen_config.expected_horizon = ds.horizon();
+
+  serve::LoadGen gen(gen_config);
+  serve::PredictionServer server(server_config, registry, gen.completion());
+  const auto report = gen.run(server, trace);
+
+  EXPECT_EQ(report.offered, trace.samples.size() * gen_config.ues);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.warmup, 9u * gen_config.ues);
+  EXPECT_EQ(report.completed + report.shed, report.offered - report.warmup);
+  EXPECT_GT(report.completed, 0u);
+  EXPECT_GT(report.p99_latency_ns, 0.0);
+}
+
+}  // namespace

@@ -9,7 +9,10 @@
 #
 # Between the two, an observability smoke runs the `ca5g quickstart`
 # pipeline and asserts the exported metrics/report JSON is valid and
-# covers the instrumented layers (see docs/OBSERVABILITY.md).
+# covers the instrumented layers (see docs/OBSERVABILITY.md), and a
+# serving smoke replays a trace through the in-process PredictionServer
+# via `ca5g loadgen` and asserts completions with zero errors (see
+# docs/SERVING.md).
 #
 # Usage:
 #   tools/ci.sh            full suite in both configurations
@@ -55,6 +58,26 @@ assert r["run"] == "quickstart" and r["wall_s"] > 0 and "kpis" in r
 events = [json.loads(l) for l in open(f"{d}/report.json.events.jsonl")]
 assert events, "run report emitted no events"
 print(f"obs smoke OK: layers={sorted(layers)}, events={len(events)}")
+EOF
+
+# --- 1c. Serving smoke: trace-replay loadgen against in-process server ------
+# Two seconds of closed-loop replay through the micro-batching
+# PredictionServer must complete requests without errors and export a
+# parseable serve.* metrics snapshot (see docs/SERVING.md).
+run ./build-ci-release/tools/ca5g loadgen --duration 2 --speed 200 --seed 7 \
+  --closed-loop 1 --metrics-out "$OBS_DIR/serve_metrics.json"
+run python3 - "$OBS_DIR" <<'EOF'
+import json, sys
+d = sys.argv[1]
+m = json.load(open(f"{d}/serve_metrics.json"))
+c = m["counters"]
+assert c.get("serve.completed_total", 0) > 0, "loadgen completed no requests"
+assert c.get("serve.errors_total", 0) == 0, "server reported prediction errors"
+assert c.get("serve.loadgen_errors_total", 0) == 0, "loadgen saw bad horizons"
+assert c["serve.requests_total"] >= c["serve.completed_total"]
+assert m["histograms"]["serve.request_latency_ns"]["count"] > 0
+print(f"serve smoke OK: completed={c['serve.completed_total']}, "
+      f"batches={c.get('serve.batches_total', 0)}")
 EOF
 
 # --- 2. ASan + UBSan (fatal on first report) --------------------------------

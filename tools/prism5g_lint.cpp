@@ -41,6 +41,7 @@
 #include "phy/mcs.hpp"
 #include "phy/numerology.hpp"
 #include "phy/tbs.hpp"
+#include "serve/server.hpp"
 #include "sim/trace.hpp"
 #include "sim/trace_io.hpp"
 
@@ -439,6 +440,20 @@ void lint_metric_names(Linter& lint, const std::vector<std::string>& names) {
 #endif
 }
 
+/// The serving layer declares its full metric surface up front
+/// (serve::kServeMetricNames — the contract docs/SERVING.md documents).
+/// Lint validates the declared list rather than a live registry: these
+/// names must be well-formed even in builds that never start a server.
+void lint_serve_metric_names(Linter& lint) {
+  std::vector<std::string> names;
+  for (const auto name : serve::kServeMetricNames) names.emplace_back(name);
+  lint.expect(!names.empty(), "serve layer declares no metrics");
+  for (const auto& name : names)
+    lint.expect(name.rfind("serve.", 0) == 0,
+                "serve metric not under the serve. layer prefix: " + name);
+  lint_metric_names(lint, names);
+}
+
 // --- Self-test: the detectors must fire on corrupted tables ------------------
 
 /// Runs `check` against a corrupted table copy and reports whether it
@@ -495,7 +510,11 @@ void self_test(Linter& lint) {
   }
   // Malformed metric names: each offender must trip the naming rule.
   for (const char* bad : {"NoLayer_total", "sim.steps", "sim..steps_total",
-                          "Sim.steps_total", "sim.steps_furlongs"}) {
+                          "Sim.steps_total", "sim.steps_furlongs",
+                          // serve-flavoured offenders: bad unit suffix,
+                          // missing layer, camel-case noun.
+                          "serve.shed_requests", "shed_total",
+                          "serve.queueDepth_count"}) {
     lint.expect(
         detects([&](Linter& sub) { lint_metric_names(sub, {std::string(bad)}); }),
         std::string("self-test: malformed metric name must be detected: ") + bad);
@@ -535,6 +554,7 @@ int main(int argc, char** argv) {
   // Runs last: the passes above exercised instrumented code, so the global
   // registry now holds every metric name those paths register.
   lint_metric_names(lint, obs::MetricsRegistry::global().names());
+  lint_serve_metric_names(lint);
   if (run_self_test) self_test(lint);
 
   if (lint.failures().empty()) {
