@@ -26,22 +26,26 @@ std::size_t CsvDocument::column(const std::string& name) const {
   return 0;  // unreachable
 }
 
-CsvDocument parse_csv(const std::string& text) {
+CsvDocument parse_csv(const std::string& text, bool allow_ragged) {
   CsvDocument doc;
   std::istringstream is(text);
   std::string line;
   bool first = true;
   while (std::getline(is, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Editors and spreadsheet exports prepend a UTF-8 BOM; it is not part
+    // of the first header name.
+    if (first && line.rfind("\xEF\xBB\xBF", 0) == 0) line.erase(0, 3);
     if (line.empty()) continue;
     auto cells = split_line(line);
     if (first) {
       doc.header = std::move(cells);
       first = false;
     } else {
-      CA5G_CHECK_MSG(cells.size() == doc.header.size(),
-                     "CSV row width " << cells.size() << " != header width "
-                                      << doc.header.size());
+      if (!allow_ragged)
+        CA5G_CHECK_MSG(cells.size() == doc.header.size(),
+                       "CSV row width " << cells.size() << " != header width "
+                                        << doc.header.size());
       doc.rows.push_back(std::move(cells));
     }
   }
@@ -62,12 +66,12 @@ std::string to_csv(const CsvDocument& doc) {
   return os.str();
 }
 
-CsvDocument load_csv(const std::string& path) {
+CsvDocument load_csv(const std::string& path, bool allow_ragged) {
   std::ifstream in(path);
   CA5G_CHECK_MSG(in.good(), "cannot open CSV file: " << path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_csv(buffer.str());
+  return parse_csv(buffer.str(), allow_ragged);
 }
 
 void save_csv(const CsvDocument& doc, const std::string& path) {

@@ -18,13 +18,17 @@ struct CsvDocument {
 };
 
 /// Parse CSV text (comma separated, '\n' rows, first row is the header).
-[[nodiscard]] CsvDocument parse_csv(const std::string& text);
+/// A UTF-8 byte-order mark before the header is skipped. Rows whose cell
+/// count differs from the header's throw CheckError unless `allow_ragged`
+/// is set, in which case they are kept as-is for the caller's own
+/// row-level rejection accounting (see sim::trace_from_csv).
+[[nodiscard]] CsvDocument parse_csv(const std::string& text, bool allow_ragged = false);
 
 /// Serialize to CSV text.
 [[nodiscard]] std::string to_csv(const CsvDocument& doc);
 
 /// Load/store a CSV file; throws CheckError on I/O failure.
-[[nodiscard]] CsvDocument load_csv(const std::string& path);
+[[nodiscard]] CsvDocument load_csv(const std::string& path, bool allow_ragged = false);
 void save_csv(const CsvDocument& doc, const std::string& path);
 
 }  // namespace ca5g::common

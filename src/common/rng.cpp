@@ -88,6 +88,16 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
   return weights.size() - 1;
 }
 
+Rng Rng::substream(std::uint64_t stream_id) const noexcept {
+  // Collapse the 256-bit state to one word, mix in the stream id, and
+  // re-expand through the seed path. SplitMix64's avalanche decorrelates
+  // adjacent ids; const-ness (no state advance) makes the mapping
+  // order-independent across parallel callers.
+  std::uint64_t sm = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
+  sm += stream_id * 0x9E3779B97F4A7C15ULL;
+  return Rng(splitmix64(sm));
+}
+
 Rng Rng::fork(std::uint64_t salt) noexcept {
   // Mix current state with salt to derive a decorrelated child stream.
   return Rng(next_u64() ^ (salt * 0x9E3779B97F4A7C15ULL + 0x632BE59BD9B4E019ULL));

@@ -45,7 +45,15 @@ class Rng {
   [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) noexcept;
 
   /// Derive an independent child stream (stable function of state + salt).
+  /// Advances this generator; successive forks differ.
   [[nodiscard]] Rng fork(std::uint64_t salt) noexcept;
+
+  /// Derive the `stream_id`-th decorrelated substream WITHOUT advancing
+  /// this generator: a pure function of (current state, stream_id). This
+  /// is what parallel fleet sweeps use for per-UE randomness — substream
+  /// i is the same no matter how many threads run or in what order units
+  /// are picked up, so results are bit-identical at any thread count.
+  [[nodiscard]] Rng substream(std::uint64_t stream_id) const noexcept;
 
   /// Fisher–Yates shuffle of an index vector.
   void shuffle(std::vector<std::size_t>& v) noexcept;

@@ -1,0 +1,152 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+
+namespace ca5g::common {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("CA5G_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? default_thread_count() : threads;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  CA5G_CHECK_MSG(task != nullptr, "ThreadPool::submit of an empty task");
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CA5G_CHECK_MSG(!stop_, "ThreadPool::submit after shutdown");
+    ++pending_;
+    ++queued_;
+    target = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one(std::size_t self) {
+  std::function<void()> task;
+  bool stolen = false;
+  // Own deque first (front = FIFO for the owner), then steal from the
+  // back of each victim in ring order starting after self.
+  {
+    std::lock_guard<std::mutex> lock(queues_[self]->mu);
+    if (!queues_[self]->tasks.empty()) {
+      task = std::move(queues_[self]->tasks.front());
+      queues_[self]->tasks.pop_front();
+    }
+  }
+  if (!task) {
+    for (std::size_t k = 1; k < queues_.size() && !task; ++k) {
+      const std::size_t victim = (self + k) % queues_.size();
+      std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+      if (!queues_[victim]->tasks.empty()) {
+        task = std::move(queues_[victim]->tasks.back());
+        queues_[victim]->tasks.pop_back();
+        stolen = true;
+      }
+    }
+  }
+  if (!task) return false;
+  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --queued_;
+  }
+
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    if (try_run_one(self)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    // queued_ (not pending_) gates the wait: pending_ counts tasks still
+    // executing on other workers, which this worker cannot help with.
+    cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+std::uint64_t ThreadPool::steal_count() const noexcept {
+  return steals_.load(std::memory_order_relaxed);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk to ~8 tasks per worker: enough slack for stealing to balance
+  // uneven indices without drowning the queues in per-index tasks.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, n / (pool.thread_count() * 8));
+  for (std::size_t lo = 0; lo < n; lo += chunk) {
+    const std::size_t hi = std::min(n, lo + chunk);
+    pool.submit([&fn, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t use = threads == 0 ? default_thread_count() : threads;
+  if (use <= 1 || n == 1) {
+    // Inline fast path: no pool, but the same index→slot contract.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(use, n));
+  parallel_for(pool, n, fn);
+}
+
+}  // namespace ca5g::common

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_span.hpp"
 
@@ -43,9 +44,11 @@ GenerationConfig GenerationConfig::from_env() {
 std::vector<sim::Trace> generate_traces(const SubDatasetId& id, TimeScale scale,
                                         const GenerationConfig& config) {
   CA5G_METRIC_COUNTER(traces_generated, "eval.traces_generated_total");
-  std::vector<sim::Trace> out;
-  out.reserve(config.traces);
-  for (std::size_t i = 0; i < config.traces; ++i) {
+  std::vector<sim::Trace> out(config.traces);
+  // Each trace's seed is a pure function of its index, so the concurrent
+  // simulations below are independent and out[i] is the same at any
+  // thread count.
+  common::parallel_for(config.threads, config.traces, [&](std::size_t i) {
     traces_generated.inc();
     sim::ScenarioConfig scenario;
     scenario.op = id.op;
@@ -58,15 +61,15 @@ std::vector<sim::Trace> generate_traces(const SubDatasetId& id, TimeScale scale,
     if (scale == TimeScale::kShort) {
       scenario.step_s = 0.01;
       scenario.duration_s = config.short_trace_duration_s;
-      out.push_back(sim::run_scenario(scenario));
+      out[i] = sim::run_scenario(scenario);
     } else {
       // Simulate at 100 ms and average to 1 s: slot-level fading detail
       // is irrelevant at this horizon and the simulation is 10× cheaper.
       scenario.step_s = 0.1;
       scenario.duration_s = config.long_trace_duration_s;
-      out.push_back(sim::run_scenario(scenario).resampled(1.0));
+      out[i] = sim::run_scenario(scenario).resampled(1.0);
     }
-  }
+  });
   return out;
 }
 
@@ -77,7 +80,7 @@ traces::Dataset make_ml_dataset(const SubDatasetId& id, TimeScale scale,
   spec.history = 10;
   spec.horizon = 10;
   spec.stride = scale == TimeScale::kShort ? config.short_stride : 1;
-  return traces::Dataset::from_traces(traces_vec, spec);
+  return traces::Dataset::from_traces(traces_vec, spec, config.threads);
 }
 
 std::unique_ptr<predictors::Predictor> make_predictor(const std::string& name) {
@@ -111,6 +114,23 @@ double train_and_evaluate(predictors::Predictor& model, const traces::Dataset& d
     model.fit(ds, split.train, split.val);
   }
   return predictors::evaluate_rmse(model, split.test);
+}
+
+std::vector<ModelScore> evaluate_models(const std::vector<std::string>& names,
+                                        const traces::Dataset& ds,
+                                        const traces::Dataset::Split& split,
+                                        std::size_t threads) {
+  CA5G_METRIC_COUNTER(models_evaluated, "eval.models_evaluated_total");
+  std::vector<ModelScore> scores(names.size());
+  // Every model instance is private to its task; the shared Dataset/Split
+  // are read-only. Scores land in `names` order whatever the schedule.
+  common::parallel_for(threads, names.size(), [&](std::size_t i) {
+    auto model = make_predictor(names[i]);
+    scores[i].name = model->name();
+    scores[i].rmse = train_and_evaluate(*model, ds, split);
+    models_evaluated.inc();
+  });
+  return scores;
 }
 
 }  // namespace ca5g::eval

@@ -38,18 +38,23 @@ struct SubDatasetId {
 [[nodiscard]] std::vector<SubDatasetId> all_sub_datasets();
 
 /// Generation knobs. `size_factor` scales trace count/length (CA5G_FAST
-/// sets 0.35 via from_env()).
+/// sets 0.35 via from_env()). `threads` parallelizes per-trace simulation
+/// and window featurization on the shared pool; per-trace seeds are fixed
+/// functions of the trace index, so any thread count produces the same
+/// bytes (1 = serial, 0 = common::default_thread_count).
 struct GenerationConfig {
   std::size_t traces = 6;
   double short_trace_duration_s = 50.0;  ///< at 10 ms steps
   double long_trace_duration_s = 400.0;  ///< resampled to 1 s
   std::size_t short_stride = 12;         ///< window stride at 10 ms
   std::uint64_t seed = 2024;
+  std::size_t threads = 1;
 
   [[nodiscard]] static GenerationConfig from_env();
 };
 
-/// Simulate the traces of one sub-dataset at a time scale.
+/// Simulate the traces of one sub-dataset at a time scale (config.threads
+/// simulations run concurrently).
 [[nodiscard]] std::vector<sim::Trace> generate_traces(const SubDatasetId& id,
                                                       TimeScale scale,
                                                       const GenerationConfig& config);
@@ -68,5 +73,19 @@ struct GenerationConfig {
 [[nodiscard]] double train_and_evaluate(predictors::Predictor& model,
                                         const traces::Dataset& ds,
                                         const traces::Dataset::Split& split);
+
+/// One Table 4 cell: a model-zoo column name and its test RMSE.
+struct ModelScore {
+  std::string name;
+  double rmse = 0.0;
+};
+
+/// Train + evaluate several model-zoo entries concurrently (each model is
+/// an independent task on the shared pool; its training RNG comes from
+/// its own TrainConfig seed, so scores match the serial run exactly).
+/// Results are in `names` order. threads: 0 = auto, 1 = serial.
+[[nodiscard]] std::vector<ModelScore> evaluate_models(
+    const std::vector<std::string>& names, const traces::Dataset& ds,
+    const traces::Dataset::Split& split, std::size_t threads = 1);
 
 }  // namespace ca5g::eval

@@ -70,7 +70,7 @@ common::CsvDocument trace_to_csv(const Trace& trace) {
   return doc;
 }
 
-Trace trace_from_csv(const common::CsvDocument& doc) {
+Trace trace_from_csv(const common::CsvDocument& doc, TraceLoadReport* report) {
   CA5G_METRIC_COUNTER(rows_read, "trace_io.rows_read_total");
   CA5G_METRIC_COUNTER(rows_rejected, "trace_io.rows_rejected_total");
 
@@ -133,22 +133,37 @@ Trace trace_from_csv(const common::CsvDocument& doc) {
       cc.mcs = std::stoi(row[doc.column(p + "mcs")]);
       cc.tput_mbps = std::stod(row[doc.column(p + "tput")]);
     }
+    // Parsing is where corruption enters (truncated files, NaN fields,
+    // bad enum codes, hand-edited CSVs): reject anything outside the
+    // Table 12 field ranges row by row, so one broken row costs one
+    // sample, not the whole load.
+    validate(s, trace.cc_slots);
     return s;
   };
+  std::string first_error;
   for (std::size_t r = 0; r < doc.rows.size(); ++r) {
     try {
       trace.samples.push_back(parse_sample(doc.rows[r]));
-    } catch (const std::exception&) {
+    } catch (const std::exception& e) {
       ++rejected;
       rows_rejected.inc();
-      if (first_rejected_line == 0) first_rejected_line = r + 2;
+      if (first_rejected_line == 0) {
+        first_rejected_line = r + 2;
+        first_error = "line " + std::to_string(first_rejected_line) + ": " + e.what();
+      }
     }
+  }
+  if (report != nullptr) {
+    report->rows_read = doc.rows.size();
+    report->rows_rejected = rejected;
+    report->first_rejected_line = first_rejected_line;
+    report->first_error = first_error;
   }
   CA5G_CHECK_MSG(!trace.samples.empty(),
                  "trace CSV has no parseable data rows: " << rejected
-                     << " malformed row(s), first at line " << first_rejected_line);
-  // Parsing is where corruption enters (truncated files, shuffled columns,
-  // hand-edited CSVs); reject anything outside the Table 12 field ranges.
+                     << " malformed row(s), first at " << first_error);
+  // Per-row validation covered the field ranges; this pass re-checks the
+  // cross-row invariants (time non-decreasing, metadata sanity).
   validate(trace);
   return trace;
 }
@@ -158,6 +173,20 @@ void save_trace(const Trace& trace, const std::string& path) {
   common::save_csv(trace_to_csv(trace), path);
 }
 
-Trace load_trace(const std::string& path) { return trace_from_csv(common::load_csv(path)); }
+Trace load_trace(const std::string& path, TraceLoadReport* report) {
+  // Ragged rows are admitted at the CSV layer so the row-level skip
+  // accounting above (not a whole-file abort) handles truncated files.
+  return trace_from_csv(common::load_csv(path, /*allow_ragged=*/true), report);
+}
+
+std::uint64_t trace_hash(const Trace& trace) {
+  const std::string bytes = common::to_csv(trace_to_csv(trace));
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64 offset basis
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;  // FNV-1a 64 prime
+  }
+  return h;
+}
 
 }  // namespace ca5g::sim

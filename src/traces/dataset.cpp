@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ca5g::traces {
 namespace {
@@ -82,7 +84,7 @@ Window build_window(const std::vector<sim::TraceSample>& samples, std::size_t st
 }
 
 Dataset Dataset::from_traces(const std::vector<sim::Trace>& traces,
-                             const DatasetSpec& spec) {
+                             const DatasetSpec& spec, std::size_t threads) {
   CA5G_CHECK_MSG(!traces.empty(), "dataset from no traces");
   CA5G_CHECK_MSG(spec.history >= 1 && spec.horizon >= 1 && spec.stride >= 1,
                  "bad dataset spec");
@@ -101,17 +103,30 @@ Dataset Dataset::from_traces(const std::vector<sim::Trace>& traces,
   }
   ds.tput_scale_mbps_ = max_tput;
 
+  // Enumerate every (trace, start) pair first, then featurize. Window i
+  // lands in slot i regardless of which pool thread built it, so the
+  // parallel dataset is byte-for-byte the serial one.
+  struct WindowSite {
+    std::size_t trace_id;
+    std::size_t start;
+  };
+  std::vector<WindowSite> sites;
   for (std::size_t trace_id = 0; trace_id < traces.size(); ++trace_id) {
     const auto& samples = traces[trace_id].samples;
     if (samples.size() < spec.history + spec.horizon) continue;
     for (std::size_t start = 0; start + spec.history + spec.horizon <= samples.size();
-         start += spec.stride) {
-      Window w = build_window(samples, start, spec, ds.cc_slots_, max_tput);
-      w.trace_id = trace_id;
-      ds.windows_.push_back(std::move(w));
-    }
+         start += spec.stride)
+      sites.push_back({trace_id, start});
   }
-  CA5G_CHECK_MSG(!ds.windows_.empty(), "dataset produced no windows");
+  CA5G_CHECK_MSG(!sites.empty(), "dataset produced no windows");
+
+  ds.windows_.resize(sites.size());
+  common::parallel_for(threads, sites.size(), [&](std::size_t i) {
+    Window w = build_window(traces[sites[i].trace_id].samples, sites[i].start, spec,
+                            ds.cc_slots_, max_tput);
+    w.trace_id = sites[i].trace_id;
+    ds.windows_[i] = std::move(w);
+  });
   return ds;
 }
 

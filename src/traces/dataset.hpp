@@ -96,9 +96,14 @@ void featurize_step(const sim::TraceSample& s, std::size_t cc_slots,
 /// A normalized, windowed dataset plus its de-normalization scale.
 class Dataset {
  public:
-  /// Build from traces. All traces must share cc_slots.
+  /// Build from traces. All traces must share cc_slots. `threads` > 1
+  /// featurizes windows on the shared work-stealing pool; every window
+  /// is written to its pre-enumerated slot, so the dataset is
+  /// bit-identical at any thread count (0 = common::default_thread_count,
+  /// 1 = serial).
   [[nodiscard]] static Dataset from_traces(const std::vector<sim::Trace>& traces,
-                                           const DatasetSpec& spec);
+                                           const DatasetSpec& spec,
+                                           std::size_t threads = 1);
 
   [[nodiscard]] const std::vector<Window>& windows() const noexcept { return windows_; }
   [[nodiscard]] std::size_t cc_slots() const noexcept { return cc_slots_; }

@@ -1,0 +1,159 @@
+// Golden-trace and thread-count determinism tests. The repo's claim is
+// that every offline-pipeline stage is a pure function of (inputs, seed)
+// — the same scenario produces byte-identical traces run-to-run, and the
+// parallel sweep/featurization/evaluation paths produce bit-identical
+// results at any --threads value.
+//
+// If kGoldenUrbanDriveHash mismatches after an *intentional* change to
+// the simulation or the trace CSV schema, follow the update procedure in
+// docs/TESTING.md (the failure message prints the new hash).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eval/pipeline.hpp"
+#include "sim/engine.hpp"
+#include "sim/sweep.hpp"
+#include "sim/trace_io.hpp"
+#include "test_helpers.hpp"
+#include "traces/dataset.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+// FNV-1a 64 over the canonical CSV serialization of the canned
+// urban-drive scenario (tests/test_helpers.hpp, seed 2024, 5 s @ 10 ms).
+constexpr std::uint64_t kGoldenUrbanDriveHash = 0x5352c5f6b6118cccULL;
+
+TEST(GoldenTrace, UrbanDriveHashMatchesGolden) {
+  const auto trace = sim::run_scenario(test::urban_drive_scenario());
+  const auto hash = sim::trace_hash(trace);
+  EXPECT_EQ(hash, kGoldenUrbanDriveHash)
+      << "urban-drive trace bytes changed. If intentional, update "
+         "kGoldenUrbanDriveHash to 0x" << std::hex << hash
+      << " per the procedure in docs/TESTING.md.";
+}
+
+TEST(GoldenTrace, HashIsStableAcrossRuns) {
+  const auto a = sim::run_scenario(test::urban_drive_scenario());
+  const auto b = sim::run_scenario(test::urban_drive_scenario());
+  EXPECT_EQ(sim::trace_hash(a), sim::trace_hash(b));
+  EXPECT_EQ(a.samples.size(), b.samples.size());
+}
+
+TEST(GoldenTrace, HashIsSensitiveToSeed) {
+  const auto a = sim::run_scenario(test::urban_drive_scenario(2024));
+  const auto b = sim::run_scenario(test::urban_drive_scenario(2025));
+  EXPECT_NE(sim::trace_hash(a), sim::trace_hash(b));
+}
+
+TEST(RngSubstream, PureFunctionOfSeedAndId) {
+  const common::Rng root(99);
+  auto a = root.substream(7);
+  auto b = root.substream(7);
+  auto c = root.substream(8);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+
+  // Deriving substreams must not advance the parent: a fresh root yields
+  // the same substreams in any derivation order.
+  const common::Rng root2(99);
+  (void)root2.substream(1000);
+  EXPECT_EQ(root.substream(7).next_u64(), root2.substream(7).next_u64());
+}
+
+sim::SweepSpec small_sweep() {
+  sim::SweepSpec spec;
+  spec.ops = {ran::OperatorId::kOpZ, ran::OperatorId::kOpX};
+  spec.mobilities = {sim::Mobility::kDriving};
+  spec.ues_per_cell = 3;
+  spec.duration_s = 2.0;
+  spec.seed = 2024;
+  return spec;
+}
+
+TEST(Sweep, EnumerationIsDeterministicWithDistinctSeeds) {
+  const auto a = sim::enumerate_units(small_sweep());
+  const auto b = sim::enumerate_units(small_sweep());
+  ASSERT_EQ(a.size(), 6u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].index, i);
+    for (std::size_t j = i + 1; j < a.size(); ++j) EXPECT_NE(a[i].seed, a[j].seed);
+  }
+}
+
+TEST(Sweep, FleetHashIndependentOfThreadCount) {
+  auto spec = small_sweep();
+  spec.threads = 1;
+  const auto serial = sim::run_sweep(spec);
+  spec.threads = 4;
+  const auto four = sim::run_sweep(spec);
+  spec.threads = 8;
+  const auto eight = sim::run_sweep(spec);
+
+  EXPECT_EQ(serial.fleet_hash, four.fleet_hash);
+  EXPECT_EQ(serial.fleet_hash, eight.fleet_hash);
+  ASSERT_EQ(serial.units.size(), four.units.size());
+  for (std::size_t i = 0; i < serial.units.size(); ++i) {
+    EXPECT_EQ(serial.units[i].trace_hash, four.units[i].trace_hash) << i;
+    EXPECT_EQ(serial.units[i].trace_hash, eight.units[i].trace_hash) << i;
+    EXPECT_EQ(serial.units[i].samples, four.units[i].samples) << i;
+  }
+}
+
+TEST(Sweep, KeptTracesMatchTheirHashes) {
+  auto spec = small_sweep();
+  spec.ues_per_cell = 1;
+  spec.keep_traces = true;
+  spec.threads = 2;
+  const auto result = sim::run_sweep(spec);
+  ASSERT_EQ(result.traces.size(), result.units.size());
+  for (std::size_t i = 0; i < result.units.size(); ++i)
+    EXPECT_EQ(sim::trace_hash(result.traces[i]), result.units[i].trace_hash) << i;
+}
+
+void expect_windows_equal(const traces::Dataset& a, const traces::Dataset& b) {
+  ASSERT_EQ(a.windows().size(), b.windows().size());
+  EXPECT_DOUBLE_EQ(a.tput_scale_mbps(), b.tput_scale_mbps());
+  for (std::size_t i = 0; i < a.windows().size(); ++i) {
+    const auto& wa = a.windows()[i];
+    const auto& wb = b.windows()[i];
+    EXPECT_EQ(wa.trace_id, wb.trace_id) << i;
+    EXPECT_EQ(wa.cc_feat, wb.cc_feat) << i;
+    EXPECT_EQ(wa.mask, wb.mask) << i;
+    EXPECT_EQ(wa.global, wb.global) << i;
+    EXPECT_EQ(wa.agg_history, wb.agg_history) << i;
+    EXPECT_EQ(wa.target, wb.target) << i;
+    EXPECT_EQ(wa.cc_target, wb.cc_target) << i;
+  }
+}
+
+TEST(Dataset, ParallelFeaturizationMatchesSerial) {
+  std::vector<sim::Trace> list = {test::synthetic_trace(200, 0.0),
+                                  test::synthetic_trace(200, 31.0)};
+  traces::DatasetSpec spec;
+  spec.stride = 2;
+  const auto serial = traces::Dataset::from_traces(list, spec, /*threads=*/1);
+  const auto pooled = traces::Dataset::from_traces(list, spec, /*threads=*/4);
+  expect_windows_equal(serial, pooled);
+}
+
+TEST(EvalPipeline, ParallelTraceGenerationMatchesSerial) {
+  auto gen = test::tiny_generation();
+  const eval::SubDatasetId id{ran::OperatorId::kOpY, sim::Mobility::kDriving};
+
+  gen.threads = 1;
+  const auto serial = eval::generate_traces(id, eval::TimeScale::kShort, gen);
+  gen.threads = 4;
+  const auto pooled = eval::generate_traces(id, eval::TimeScale::kShort, gen);
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(sim::trace_hash(serial[i]), sim::trace_hash(pooled[i])) << i;
+}
+
+}  // namespace

@@ -3,20 +3,14 @@
 
 #include "common/check.hpp"
 #include "eval/pipeline.hpp"
+#include "test_helpers.hpp"
 
 namespace {
 
 using namespace ca5g;
 using namespace ca5g::eval;
 
-GenerationConfig tiny_gen() {
-  GenerationConfig gen;
-  gen.traces = 2;
-  gen.short_trace_duration_s = 8.0;
-  gen.long_trace_duration_s = 40.0;
-  gen.short_stride = 10;
-  return gen;
-}
+GenerationConfig tiny_gen() { return test::tiny_generation(); }
 
 TEST(Pipeline, SixSubDatasetsInTableOrder) {
   const auto all = all_sub_datasets();
@@ -87,6 +81,25 @@ TEST(Pipeline, TrainAndEvaluateSmoke) {
   const double rmse = train_and_evaluate(*prophet, ds, split);
   EXPECT_GT(rmse, 0.0);
   EXPECT_LT(rmse, 1.0);
+}
+
+TEST(Pipeline, EvaluateModelsKeepsNameOrderAtAnyThreadCount) {
+  const auto ds = make_ml_dataset({ran::OperatorId::kOpZ, sim::Mobility::kDriving},
+                                  TimeScale::kShort, tiny_gen());
+  common::Rng rng(5);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  const std::vector<std::string> names = {"Prophet", "HarmonicMean"};
+
+  const auto serial = evaluate_models(names, ds, split, /*threads=*/1);
+  const auto pooled = evaluate_models(names, ds, split, /*threads=*/2);
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(pooled.size(), 2u);
+  EXPECT_EQ(serial[0].name, "Prophet");
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].name, pooled[i].name);
+    EXPECT_DOUBLE_EQ(serial[i].rmse, pooled[i].rmse);
+    EXPECT_GT(serial[i].rmse, 0.0);
+  }
 }
 
 }  // namespace

@@ -1,11 +1,19 @@
-// Shared helpers for predictor tests: a fast, fully synthetic trace with
-// a learnable structure (periodic per-CC throughput plus CA on/off
-// square wave), avoiding full RAN simulation in unit tests.
+// Shared test fixtures: a fast, fully synthetic trace with a learnable
+// structure (periodic per-CC throughput plus CA on/off square wave), the
+// canned urban-drive scenario the determinism/integration suites pin
+// their seeds to, downsized generation/training configs, and a small
+// pre-fitted predictor for serving tests — so each suite doesn't grow
+// its own slightly-different copy of this setup.
 #pragma once
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "eval/pipeline.hpp"
+#include "predictors/naive.hpp"
+#include "sim/engine.hpp"
 #include "sim/trace.hpp"
 #include "traces/dataset.hpp"
 
@@ -74,6 +82,58 @@ inline traces::Dataset synthetic_dataset(std::size_t traces_count = 2,
   traces::DatasetSpec spec;
   spec.stride = 3;
   return traces::Dataset::from_traces(list, spec);
+}
+
+/// The canned full-simulation scenario: OpZ urban driving at 10 ms
+/// steps. This is the fixture the golden-hash determinism tests pin, so
+/// changing any default here requires the TESTING.md hash-update
+/// procedure.
+inline sim::ScenarioConfig urban_drive_scenario(std::uint64_t seed = 2024,
+                                                double duration_s = 5.0) {
+  sim::ScenarioConfig config;
+  config.op = ran::OperatorId::kOpZ;
+  config.env = radio::Environment::kUrbanMacro;
+  config.mobility = sim::Mobility::kDriving;
+  config.duration_s = duration_s;
+  config.step_s = 0.01;
+  config.seed = seed;
+  return config;
+}
+
+/// Downsized dataset generation for pipeline tests (seconds, not the
+/// minutes the real Table 4 sizes take).
+inline eval::GenerationConfig tiny_generation(std::size_t traces = 2,
+                                              double short_s = 8.0,
+                                              double long_s = 40.0,
+                                              std::size_t stride = 10) {
+  eval::GenerationConfig gen;
+  gen.traces = traces;
+  gen.short_trace_duration_s = short_s;
+  gen.long_trace_duration_s = long_s;
+  gen.short_stride = stride;
+  return gen;
+}
+
+/// Downsized deep-model training config: large enough to beat the naive
+/// baselines on the synthetic datasets, small enough for unit tests.
+inline predictors::TrainConfig tiny_train_config() {
+  predictors::TrainConfig config;
+  config.epochs = 16;
+  config.hidden = 24;
+  config.layers = 1;
+  config.batch_size = 32;
+  return config;
+}
+
+/// A small predictor already fitted on `ds` — what serving tests need to
+/// exercise the registry/server path without caring about model quality.
+inline std::shared_ptr<predictors::Predictor> fitted_small_predictor(
+    const traces::Dataset& ds, std::uint64_t seed = 3) {
+  auto model = std::make_shared<predictors::HarmonicMeanPredictor>();
+  common::Rng rng(seed);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  model->fit(ds, split.train, split.val);
+  return model;
 }
 
 }  // namespace ca5g::test

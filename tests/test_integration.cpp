@@ -7,27 +7,18 @@
 #include "common/stats.hpp"
 #include "core/prism5g.hpp"
 #include "eval/pipeline.hpp"
+#include "test_helpers.hpp"
 
 namespace {
 
 using namespace ca5g;
 
-predictors::TrainConfig tiny_config() {
-  predictors::TrainConfig config;
-  config.epochs = 16;
-  config.hidden = 24;
-  config.layers = 1;
-  config.batch_size = 32;
-  return config;
-}
+predictors::TrainConfig tiny_config() { return test::tiny_train_config(); }
 
 class IntegrationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    eval::GenerationConfig gen;
-    gen.traces = 3;
-    gen.short_trace_duration_s = 20.0;
-    gen.short_stride = 6;
+    const auto gen = test::tiny_generation(3, 20.0, 40.0, 6);
     traces_ = new std::vector<sim::Trace>(eval::generate_traces(
         {ran::OperatorId::kOpZ, sim::Mobility::kDriving}, eval::TimeScale::kShort, gen));
     traces::DatasetSpec spec;

@@ -1,0 +1,189 @@
+// Property-based tests for the PHY arithmetic (paper Eq. 1 and the
+// TS 38.214 tables): instead of pinning individual values (test_tbs,
+// test_mcs do that), these assert the *shape* of the functions over
+// seeded random sweeps — monotonicity in MCS and #RB, CQI↔SINR
+// round-trip stability, and non-negativity/zero-allocation behavior of
+// the per-CC throughput.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "phy/band.hpp"
+#include "phy/mcs.hpp"
+#include "phy/tbs.hpp"
+
+namespace {
+
+using namespace ca5g;
+
+phy::TbsParams random_params(common::Rng& rng) {
+  phy::TbsParams p;
+  p.prb_count = static_cast<int>(rng.uniform_int(1, 273));
+  p.symbols = static_cast<int>(rng.uniform_int(1, 14));
+  p.dmrs_re_per_prb = static_cast<int>(rng.uniform_int(6, 24));
+  p.overhead_re = static_cast<int>(rng.uniform_int(0, 12));
+  p.mcs_index = static_cast<int>(rng.uniform_int(0, phy::kMaxMcsIndex));
+  p.mimo_layers = static_cast<int>(rng.uniform_int(1, 4));
+  return p;
+}
+
+// --- TBS monotonicity --------------------------------------------------------
+
+TEST(PhyProperties, TbsMonotoneInMcsIndex) {
+  common::Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto p = random_params(rng);
+    std::int64_t prev = -1;
+    for (int mcs = 0; mcs <= phy::kMaxMcsIndex; ++mcs) {
+      p.mcs_index = mcs;
+      const auto tbs = phy::transport_block_size(p);
+      EXPECT_GE(tbs, prev) << "TBS decreased at mcs=" << mcs << " prb=" << p.prb_count
+                           << " symbols=" << p.symbols << " layers=" << p.mimo_layers;
+      prev = tbs;
+    }
+  }
+}
+
+TEST(PhyProperties, TbsMonotoneInPrbCount) {
+  common::Rng rng(202);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto p = random_params(rng);
+    std::int64_t prev = -1;
+    for (int prb = 1; prb <= 273; prb += 4) {
+      p.prb_count = prb;
+      const auto tbs = phy::transport_block_size(p);
+      EXPECT_GE(tbs, prev) << "TBS decreased at prb=" << prb << " mcs=" << p.mcs_index
+                           << " symbols=" << p.symbols;
+      prev = tbs;
+    }
+  }
+}
+
+TEST(PhyProperties, TbsMonotoneInMimoLayers) {
+  common::Rng rng(303);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto p = random_params(rng);
+    std::int64_t prev = -1;
+    for (int v = 1; v <= 8; ++v) {
+      p.mimo_layers = v;
+      const auto tbs = phy::transport_block_size(p);
+      EXPECT_GE(tbs, prev) << "TBS decreased at layers=" << v;
+      prev = tbs;
+    }
+  }
+}
+
+TEST(PhyProperties, NInfoMatchesEq1Factorization) {
+  // N_info = N_re * R * Qm * v exactly (Eq. 1 before quantization).
+  common::Rng rng(404);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto p = random_params(rng);
+    const auto& mcs = phy::mcs_entry(p.mcs_index);
+    const double expected = static_cast<double>(phy::total_resource_elements(p)) *
+                            mcs.code_rate * mcs.modulation_order * p.mimo_layers;
+    EXPECT_DOUBLE_EQ(phy::n_info(p), expected);
+  }
+}
+
+// --- Per-CC throughput (Eq. 1) ----------------------------------------------
+
+TEST(PhyProperties, SlotThroughputNonNegativeOverRandomSweep) {
+  common::Rng rng(505);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto p = random_params(rng);
+    for (const int scs : {15, 30}) {
+      for (const auto duplex : {phy::Duplex::kFdd, phy::Duplex::kTdd}) {
+        const double bps = phy::slot_throughput_bps(p, scs, duplex);
+        EXPECT_GE(bps, 0.0);
+        EXPECT_TRUE(std::isfinite(bps));
+      }
+    }
+  }
+}
+
+TEST(PhyProperties, SlotThroughputZeroWhenNoResourceBlocks) {
+  common::Rng rng(606);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto p = random_params(rng);
+    p.prb_count = 0;
+    EXPECT_EQ(phy::transport_block_size(p), 0);
+    EXPECT_DOUBLE_EQ(phy::slot_throughput_bps(p, 30, phy::Duplex::kTdd), 0.0);
+  }
+}
+
+TEST(PhyProperties, TddNeverExceedsFddForSameAllocation) {
+  // TDD spends a fraction of slots on uplink; DL throughput can only be
+  // lower than FDD's for the identical allocation.
+  common::Rng rng(707);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto p = random_params(rng);
+    EXPECT_LE(phy::slot_throughput_bps(p, 30, phy::Duplex::kTdd),
+              phy::slot_throughput_bps(p, 30, phy::Duplex::kFdd));
+  }
+}
+
+// --- CQI <-> SINR ------------------------------------------------------------
+
+TEST(PhyProperties, CqiSinrRoundTripIsStable) {
+  // Reporting at any SINR inside CQI q's band must reproduce q: mapping
+  // a reported CQI back through its threshold and re-reporting cannot
+  // drift (the link-adaptation loop has a fixed point).
+  for (int q = 1; q <= phy::kMaxCqiIndex; ++q) {
+    const double lo = phy::cqi_entry(q).min_sinr_db;
+    const double hi =
+        q < phy::kMaxCqiIndex ? phy::cqi_entry(q + 1).min_sinr_db : lo + 10.0;
+    for (const double sinr : {lo, (lo + hi) / 2.0}) {
+      const int reported = phy::cqi_from_sinr(sinr);
+      EXPECT_EQ(reported, q) << "sinr=" << sinr;
+      // Round trip: threshold of the reported CQI re-reports the same CQI.
+      EXPECT_EQ(phy::cqi_from_sinr(phy::cqi_entry(reported).min_sinr_db), reported);
+    }
+  }
+}
+
+TEST(PhyProperties, CqiFromSinrMonotoneOverRandomPairs) {
+  common::Rng rng(808);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double a = rng.uniform(-20.0, 40.0);
+    const double b = rng.uniform(-20.0, 40.0);
+    const double lo = std::min(a, b);
+    const double hi = std::max(a, b);
+    EXPECT_LE(phy::cqi_from_sinr(lo), phy::cqi_from_sinr(hi));
+  }
+}
+
+TEST(PhyProperties, SinrBelowLowestThresholdReportsOutOfRange) {
+  EXPECT_EQ(phy::cqi_from_sinr(phy::cqi_entry(1).min_sinr_db - 1.0), 0);
+}
+
+TEST(PhyProperties, McsFromCqiRespectsPromisedEfficiency) {
+  int prev_mcs = 0;
+  for (int q = 1; q <= phy::kMaxCqiIndex; ++q) {
+    const int mcs = phy::mcs_from_cqi(q);
+    ASSERT_GE(mcs, 0);
+    ASSERT_LE(mcs, phy::kMaxMcsIndex);
+    // Link adaptation never schedules beyond what the CQI promises —
+    // except at the MCS 0 floor, where no weaker scheme exists (the low
+    // CQI rows promise less efficiency than QPSK at the minimum rate).
+    if (mcs > 0) {
+      EXPECT_LE(phy::mcs_entry(mcs).efficiency(), phy::cqi_entry(q).efficiency + 1e-9);
+    }
+    // ...and a better channel never yields a lower MCS.
+    EXPECT_GE(mcs, prev_mcs);
+    prev_mcs = mcs;
+  }
+}
+
+TEST(PhyProperties, BlerEstimateIsAProbabilityEverywhere) {
+  common::Rng rng(909);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double sinr = rng.uniform(-20.0, 40.0);
+    const int mcs = static_cast<int>(rng.uniform_int(0, phy::kMaxMcsIndex));
+    const double bler = phy::bler_estimate(sinr, mcs);
+    EXPECT_GE(bler, 0.0);
+    EXPECT_LE(bler, 1.0);
+  }
+}
+
+}  // namespace

@@ -368,11 +368,7 @@ TEST(LoadGen, ClosedLoopReplayCompletesWithoutErrors) {
   const auto ds = traces::Dataset::from_traces({trace}, spec);
 
   serve::ModelRegistry registry;
-  auto model = std::make_shared<predictors::HarmonicMeanPredictor>();
-  common::Rng rng(3);
-  const auto split = ds.random_split(0.5, 0.2, rng);
-  model->fit(ds, split.train, split.val);
-  registry.install("hm", model);
+  registry.install("hm", test::fitted_small_predictor(ds));
 
   serve::ServerConfig server_config = small_config();
   server_config.tput_scale_mbps = ds.tput_scale_mbps();

@@ -9,6 +9,7 @@
 //   ca5g quickstart [--seed N]       (sim → trace I/O → train → evaluate)
 //   ca5g serve     --model HarmonicMean --ues 8 --workers 4 [--speed X]
 //   ca5g loadgen   --speed 200 --duration 2 [--closed-loop 1] [--trace F]
+//   ca5g sweep     --ues 8 --duration 10 --threads 0 [--seed N]
 //
 // Every subcommand accepts --metrics-out FILE (metrics registry JSON) and
 // --report-out FILE (run summary JSON + FILE.events.jsonl timeline).
@@ -29,6 +30,7 @@
 #include "obs/run_report.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
+#include "sim/sweep.hpp"
 #include "sim/trace_io.hpp"
 
 namespace {
@@ -211,7 +213,9 @@ int cmd_evaluate(int argc, char** argv) {
   std::cout << "Generating " << id.label() << " dataset at "
             << eval::time_scale_name(scale) << "...\n";
   report.event("phase", "generate-dataset");
-  const auto ds = eval::make_ml_dataset(id, scale, eval::GenerationConfig::from_env());
+  auto gen = eval::GenerationConfig::from_env();
+  gen.threads = std::stoul(get(args, "threads", "0"));
+  const auto ds = eval::make_ml_dataset(id, scale, gen);
   common::Rng rng(std::stoull(get(args, "seed", "42")));
   const auto split = ds.random_split(0.5, 0.2, rng);
 
@@ -254,7 +258,9 @@ int cmd_qoe(int argc, char** argv) {
   eval::SubDatasetId id{ran::OperatorId::kOpZ, sim::Mobility::kDriving};
   const auto scale = abr ? eval::TimeScale::kLong : eval::TimeScale::kShort;
   report.event("phase", "generate-dataset");
-  const auto ds = eval::make_ml_dataset(id, scale, eval::GenerationConfig::from_env());
+  auto gen = eval::GenerationConfig::from_env();
+  gen.threads = std::stoul(get(args, "threads", "0"));
+  const auto ds = eval::make_ml_dataset(id, scale, gen);
   common::Rng rng(std::stoull(get(args, "seed", "42")));
   const auto split = ds.random_split(0.5, 0.2, rng);
 
@@ -343,7 +349,8 @@ int cmd_quickstart(int argc, char** argv) {
   spec.history = 10;
   spec.horizon = 10;
   spec.stride = 20;
-  const auto ds = traces::Dataset::from_traces({reloaded}, spec);
+  const auto ds = traces::Dataset::from_traces({reloaded}, spec,
+                                               std::stoul(get(args, "threads", "0")));
   common::Rng rng(seed);
   const auto split = ds.random_split(0.5, 0.2, rng);
   report.kpi("windows", static_cast<double>(ds.windows().size()));
@@ -494,6 +501,56 @@ int cmd_serve_or_loadgen(int argc, char** argv, bool is_loadgen) {
   return 0;
 }
 
+// sweep: the fleet-scale offline pipeline. Enumerates the (operator,
+// mobility, UE) cross product, runs every unit concurrently on the
+// work-stealing pool, and prints per-cell statistics plus the fleet
+// hash — the determinism fingerprint that must not depend on --threads.
+int cmd_sweep(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2);
+  sim::SweepSpec spec;
+  spec.ues_per_cell = std::stoul(get(args, "ues", "4"));
+  spec.duration_s = std::stod(get(args, "duration", "10"));
+  spec.step_s = std::stod(get(args, "step", "0.01"));
+  spec.env = parse_env(get(args, "env", "urban"));
+  spec.seed = std::stoull(get(args, "seed", "2024"));
+  spec.threads = std::stoul(get(args, "threads", "0"));
+  const auto op_filter = get(args, "op", "");
+  if (!op_filter.empty()) spec.ops = {parse_op(op_filter)};
+  const auto mobility_filter = get(args, "mobility", "");
+  if (!mobility_filter.empty()) spec.mobilities = {parse_mobility(mobility_filter)};
+
+  obs::RunReport report("sweep");
+  report.meta("ues_per_cell", static_cast<double>(spec.ues_per_cell));
+  report.meta("duration_s", spec.duration_s);
+  report.meta("seed", static_cast<double>(spec.seed));
+
+  report.event("phase", "sweep");
+  const auto result = sim::run_sweep(spec);
+  report.meta("threads", static_cast<double>(result.threads_used));
+
+  common::TextTable table("Fleet sweep (" + std::to_string(result.units.size()) +
+                          " units, " + std::to_string(result.threads_used) +
+                          " threads)");
+  table.set_header({"Unit", "Samples", "Mean(Mbps)", "Peak(Mbps)", "MeanCCs"});
+  for (const auto& u : result.units)
+    table.add_row({u.unit.label(), std::to_string(u.samples),
+                   common::TextTable::num(u.mean_tput_mbps, 1),
+                   common::TextTable::num(u.peak_tput_mbps, 1),
+                   common::TextTable::num(u.mean_cc_count, 2)});
+  std::cout << table;
+
+  std::ostringstream hash;
+  hash << std::hex << result.fleet_hash;
+  std::cout << "fleet hash: " << hash.str() << "\n"
+            << "wall: " << common::TextTable::num(result.wall_s, 2) << " s, steals: "
+            << result.pool_steals << "\n";
+  report.kpi("units", static_cast<double>(result.units.size()));
+  report.kpi("wall_s", result.wall_s);
+  report.kpi("pool_steals", static_cast<double>(result.pool_steals));
+  export_telemetry(args, report);
+  return 0;
+}
+
 void usage() {
   std::cout << "ca5g — CA-aware 5G throughput prediction toolkit\n\n"
             << "subcommands:\n"
@@ -512,9 +569,16 @@ void usage() {
             << "            [--batch N] [--deadline-us N] [--queue N] [--speed X]\n"
             << "            [--duration S] [--sim-duration S] [--seed N]\n"
             << "  loadgen   trace-replay load generator against an in-process server\n"
-            << "            (same flags; plus [--closed-loop 0|1] [--max-in-flight N])\n\n"
+            << "            (same flags; plus [--closed-loop 0|1] [--max-in-flight N])\n"
+            << "  sweep     fleet-scale parallel simulation sweep over the\n"
+            << "            (operator, mobility, UE) cross product\n"
+            << "            [--ues N] [--duration S] [--step S] [--env E] [--seed N]\n"
+            << "            [--op OpX] [--mobility M] [--threads N]\n\n"
             << "all subcommands accept --metrics-out FILE and --report-out FILE\n"
-            << "to export the metrics registry and a per-run report as JSON.\n";
+            << "to export the metrics registry and a per-run report as JSON.\n"
+            << "--threads 0 (the default) uses every hardware thread (or\n"
+            << "CA5G_THREADS); dataset generation and sweeps are bit-identical\n"
+            << "at any thread count.\n";
 }
 
 }  // namespace
@@ -533,6 +597,7 @@ int main(int argc, char** argv) {
     if (command == "quickstart") return cmd_quickstart(argc, argv);
     if (command == "serve") return cmd_serve_or_loadgen(argc, argv, /*is_loadgen=*/false);
     if (command == "loadgen") return cmd_serve_or_loadgen(argc, argv, /*is_loadgen=*/true);
+    if (command == "sweep") return cmd_sweep(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
