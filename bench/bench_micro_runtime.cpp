@@ -1,12 +1,23 @@
 // §6.1 "Runtime" micro-benchmarks (google-benchmark): training epoch
 // cost and per-sample inference latency of Prism5G vs the LSTM
-// baseline, plus the simulator's step rate. The paper reports Prism5G
-// at +34.1% training and +23.2% inference vs LSTM, staying < 1 ms per
-// sample.
+// baseline (compiled plan and autograd graph separately), the
+// blocked-vs-naive matmul kernels on the model's actual shapes, plus
+// the simulator's step rate. The paper reports Prism5G at +34.1%
+// training and +23.2% inference vs LSTM, staying < 1 ms per sample.
+//
+// With CA5G_BENCH_JSON=1 every benchmark's per-iteration real time is
+// also written to BENCH_micro_runtime.json, seeding the repo's kernel
+// perf trajectory from this change on.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "core/prism5g.hpp"
 #include "eval/pipeline.hpp"
+#include "nn/infer.hpp"
 #include "predictors/deep.hpp"
 
 namespace {
@@ -51,12 +62,13 @@ void train_benchmark(benchmark::State& state) {
 }
 
 template <typename Model>
-void inference_benchmark(benchmark::State& state) {
+void inference_benchmark(benchmark::State& state, bool fast_path) {
   const auto& ds = shared_dataset();
   common::Rng rng(2);
   const auto split = ds.random_split(0.5, 0.1, rng);
   Model model(micro_config(2));
   model.fit(ds, split.train, {});
+  model.set_fast_path(fast_path);
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& w = *split.test[i % split.test.size()];
@@ -73,10 +85,69 @@ void BM_TrainEpoch_Prism5G(benchmark::State& state) {
   train_benchmark<core::Prism5G>(state);
 }
 void BM_Inference_LSTM(benchmark::State& state) {
-  inference_benchmark<predictors::LstmPredictor>(state);
+  inference_benchmark<predictors::LstmPredictor>(state, true);
 }
 void BM_Inference_Prism5G(benchmark::State& state) {
-  inference_benchmark<core::Prism5G>(state);
+  inference_benchmark<core::Prism5G>(state, true);
+}
+void BM_Inference_LSTM_Graph(benchmark::State& state) {
+  inference_benchmark<predictors::LstmPredictor>(state, false);
+}
+void BM_Inference_Prism5G_Graph(benchmark::State& state) {
+  inference_benchmark<core::Prism5G>(state, false);
+}
+
+// --- Matmul kernels on the model's actual shapes -----------------------------
+//
+// Arg triples are (rows, in, out). The shapes are the serving batch's
+// hot matmuls: LSTM flat-input gates (32×55·55×128), hidden-to-gates
+// (32×32·32×128), Prism5G encoder input (32×16·16×128), the fusion
+// MLP's first layer (32×144·144×32), and the single-window (B = 1)
+// hidden-to-gates shape the per-UE serving call runs.
+
+/// Deterministic nonzero values: keeps the blocked kernel on its fused
+/// four-row path, so the comparison measures kernel structure, not the
+/// zero-skip rate.
+std::vector<float> kernel_operand(std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = 0.25f + 0.001f * static_cast<float>(i % 101);
+  return v;
+}
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto in = static_cast<std::size_t>(state.range(1));
+  const auto out = static_cast<std::size_t>(state.range(2));
+  const auto x = kernel_operand(rows * in);
+  const auto w = kernel_operand(in * out);
+  std::vector<float> y(rows * out);
+  for (auto _ : state) {
+    nn::infer::matmul_xw(x.data(), w.data(), nullptr, y.data(), rows, in, out);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * in * out));
+}
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto in = static_cast<std::size_t>(state.range(1));
+  const auto out = static_cast<std::size_t>(state.range(2));
+  const auto x = kernel_operand(rows * in);
+  const auto w = kernel_operand(in * out);
+  std::vector<float> y(rows * out);
+  for (auto _ : state) {
+    // The graph kernel accumulates into a zeroed result, so the zeroing
+    // is part of its per-op cost.
+    std::fill(y.begin(), y.end(), 0.0f);
+    nn::infer::matmul_ab_naive(x.data(), w.data(), y.data(), rows, in, out);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * in * out));
 }
 
 void BM_SimulatorStep(benchmark::State& state) {
@@ -98,8 +169,53 @@ BENCHMARK(BM_TrainEpoch_LSTM)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrainEpoch_Prism5G)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Inference_LSTM)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Inference_Prism5G)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Inference_LSTM_Graph)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Inference_Prism5G_Graph)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MatmulBlocked)
+    ->Args({32, 55, 128})
+    ->Args({32, 32, 128})
+    ->Args({32, 16, 128})
+    ->Args({32, 144, 32})
+    ->Args({1, 32, 128})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MatmulNaive)
+    ->Args({32, 55, 128})
+    ->Args({32, 32, 128})
+    ->Args({32, 16, 128})
+    ->Args({32, 144, 32})
+    ->Args({1, 32, 128})
+    ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SimulatorStep)->Arg(500)->Unit(benchmark::kMillisecond);
+
+/// Console output as usual, plus every run's per-iteration real seconds
+/// tee'd into the BenchReport (written as BENCH_micro_runtime.json when
+/// CA5G_BENCH_JSON=1).
+class ReportTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportTeeReporter(bench::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      report_.result(run.benchmark_name() + ".s_per_iter",
+                     run.real_accumulated_time /
+                         static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport& report_;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchReport report("micro_runtime");
+  ReportTeeReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,8 +3,147 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "nn/infer.hpp"
 
 namespace ca5g::core {
+namespace {
+
+namespace infer = nn::infer;
+
+/// Compiled Prism5G forward: per-CC shared-LSTM encoding over
+/// mask-gated inputs, mask embedding + fusion, shared heads, mask
+/// gating at the last step, and the ordered per-CC sum — mirroring
+/// forward_per_cc/forward_batch op for op so the result is
+/// bit-identical to the autograd path. Honors both ablation switches.
+class Prism5gPlan final : public predictors::DeepPredictor::InferencePlan {
+ public:
+  Prism5gPlan(const nn::Lstm& encoder, const nn::Linear& mask_embed,
+              const nn::Mlp& fusion, const nn::Mlp& head, bool use_state,
+              bool use_fusion, std::size_t cc_slots, std::size_t horizon)
+      : encoder_(encoder),
+        mask_embed_(mask_embed),
+        fusion_(fusion),
+        head_(head),
+        use_state_(use_state),
+        use_fusion_(use_fusion),
+        cc_slots_(cc_slots),
+        horizon_(horizon) {}
+
+  void run(std::span<const traces::Window* const> batch, infer::Arena& arena,
+           float* out) const override {
+    const std::size_t rows = batch.size();
+    const std::size_t t_len = batch.front()->cc_feat.size();
+    const std::size_t hidden = encoder_.hidden();
+    const std::size_t in_dim = encoder_.cells.front().in;
+    const std::size_t g4 = 4 * hidden;
+
+    // 1. Shared per-CC encoding into h_all[c] (rows × hidden each).
+    float* h_all = arena.alloc(cc_slots_ * rows * hidden);
+    float* x = arena.alloc(rows * in_dim);
+    float* states = arena.alloc(encoder_.state_floats(rows));
+    float* xg = arena.alloc(rows * g4);
+    float* hg = arena.alloc(rows * g4);
+    for (std::size_t c = 0; c < cc_slots_; ++c) {
+      encoder_.zero_states(states, rows);
+      const float* top = nullptr;
+      for (std::size_t t = 0; t < t_len; ++t) {
+        stage_cc_step(batch, c, t, x);
+        top = encoder_.step(x, states, rows, xg, hg);
+      }
+      std::copy(top, top + rows * hidden, h_all + c * rows * hidden);
+    }
+
+    // 2+3. Mask embedding and fusion over [h_1..h_C, E].
+    const float* fused = nullptr;
+    if (use_fusion_) {
+      const float* embed = nullptr;
+      std::size_t embed_dim = 0;
+      if (use_state_) {
+        float* mask = arena.alloc(rows * cc_slots_ * t_len);
+        for (std::size_t b = 0; b < rows; ++b)
+          for (std::size_t c = 0; c < cc_slots_; ++c)
+            for (std::size_t t = 0; t < t_len; ++t)
+              mask[b * cc_slots_ * t_len + c * t_len + t] =
+                  static_cast<float>(batch[b]->mask[t][c]);
+        embed_dim = mask_embed_.out;
+        float* e = arena.alloc(rows * embed_dim);
+        mask_embed_.forward(mask, rows, e);
+        embed = e;
+      }
+      const std::size_t fusion_in = cc_slots_ * hidden + embed_dim;
+      float* fin = arena.alloc(rows * fusion_in);
+      for (std::size_t r = 0; r < rows; ++r) {
+        float* frow = fin + r * fusion_in;
+        for (std::size_t c = 0; c < cc_slots_; ++c)
+          std::copy(h_all + c * rows * hidden + r * hidden,
+                    h_all + c * rows * hidden + (r + 1) * hidden,
+                    frow + c * hidden);
+        if (embed)
+          std::copy(embed + r * embed_dim, embed + (r + 1) * embed_dim,
+                    frow + cc_slots_ * hidden);
+      }
+      fused = fusion_.forward(arena, fin, rows);
+    }
+
+    // 4. Shared heads on h'_c = h_c + h_f, gated by the last-step mask,
+    // summed across CCs in order (y_0, then += y_1, ...).
+    const std::size_t t_last = t_len - 1;
+    float* hsum = arena.alloc(rows * hidden);
+    for (std::size_t c = 0; c < cc_slots_; ++c) {
+      const float* hc = h_all + c * rows * hidden;
+      if (fused) {
+        for (std::size_t i = 0; i < rows * hidden; ++i)
+          hsum[i] = hc[i] + fused[i];
+        hc = hsum;
+      }
+      const float* y = head_.forward(arena, hc, rows);
+      for (std::size_t b = 0; b < rows; ++b) {
+        const float gate =
+            use_state_ ? static_cast<float>(batch[b]->mask[t_last][c]) : 1.0f;
+        float* orow = out + b * horizon_;
+        const float* yrow = y + b * horizon_;
+        if (c == 0) {
+          for (std::size_t h = 0; h < horizon_; ++h)
+            orow[h] = use_state_ ? yrow[h] * gate : yrow[h];
+        } else {
+          for (std::size_t h = 0; h < horizon_; ++h)
+            orow[h] = orow[h] + (use_state_ ? yrow[h] * gate : yrow[h]);
+        }
+      }
+    }
+  }
+
+ private:
+  /// Stage CC c's step t inputs: gated features + shared context, with
+  /// the gate applied in double before the float cast, exactly like
+  /// make_cc_sequences.
+  void stage_cc_step(std::span<const traces::Window* const> batch, std::size_t c,
+                     std::size_t t, float* x) const {
+    const std::size_t dim = encoder_.cells.front().in;
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      const auto& feat = batch[b]->cc_feat[t][c];
+      const double gate = use_state_ ? batch[b]->mask[t][c] : 1.0;
+      float* row = x + b * dim;
+      std::size_t f = 0;
+      for (; f < traces::kCcFeatureDim; ++f)
+        row[f] = static_cast<float>(feat[f] * gate);
+      row[f++] = static_cast<float>(batch[b]->agg_history[t] * gate);
+      for (std::size_t g = 0; g < traces::kGlobalFeatureDim; ++g)
+        row[f++] = static_cast<float>(batch[b]->global[t][g] * gate);
+    }
+  }
+
+  infer::PackedLstm encoder_;
+  infer::PackedLinear mask_embed_;
+  infer::PackedMlp fusion_;
+  infer::PackedMlp head_;
+  bool use_state_;
+  bool use_fusion_;
+  std::size_t cc_slots_;
+  std::size_t horizon_;
+};
+
+}  // namespace
 
 Prism5G::Prism5G(predictors::TrainConfig train, Prism5gConfig config)
     : predictors::DeepPredictor(train), pconfig_(config) {}
@@ -172,6 +311,17 @@ std::vector<std::vector<double>> Prism5G::predict_per_cc(const traces::Window& w
 nn::Tensor Prism5G::encode(std::span<const nn::Tensor> sequence) const {
   return attention_ ? attention_->last_hidden(sequence)
                     : encoder_->last_hidden(sequence);
+}
+
+std::unique_ptr<predictors::DeepPredictor::InferencePlan> Prism5G::compile_plan()
+    const {
+  // The transformer encoder stays on the autograd path: attention's
+  // softmax/rowwise-dot chain is off the serving hot loop (the paper
+  // deploys the LSTM encoder; §9 lists transformers as future work).
+  if (attention_ || !encoder_) return nullptr;
+  return std::make_unique<Prism5gPlan>(*encoder_, *mask_embed_, *fusion_, *head_,
+                                       pconfig_.use_state, pconfig_.use_fusion,
+                                       cc_slots_, horizon_);
 }
 
 std::vector<nn::Tensor> Prism5G::trainable_parameters() {

@@ -57,6 +57,10 @@ class Prism5G final : public predictors::DeepPredictor {
   [[nodiscard]] std::vector<nn::Tensor> trainable_parameters() override;
   [[nodiscard]] nn::Tensor compute_loss(
       std::span<const traces::Window* const> batch) override;
+  /// Compiled plan covering the LSTM encoder and both ablations
+  /// (no-state / no-fusion); the transformer encoder variant returns
+  /// nullptr and keeps the autograd path (see docs/SERVING.md).
+  [[nodiscard]] std::unique_ptr<InferencePlan> compile_plan() const override;
 
  private:
   /// Width of one encoder input: per-CC features plus the shared

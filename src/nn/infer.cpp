@@ -1,0 +1,381 @@
+#include "nn/infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ca5g::nn::infer {
+
+// --- Arena -------------------------------------------------------------------
+
+float* Arena::alloc(std::size_t count) {
+  CA5G_DCHECK_MSG(count > 0, "arena alloc of zero floats");
+  // The cursor only moves forward within a run: a block skipped because
+  // it couldn't fit one allocation is not revisited for smaller ones.
+  // That keeps every returned pointer stable and makes the placement —
+  // and therefore capacity_bytes() — deterministic across identical
+  // runs, which the zero-steady-state-growth test pins.
+  while (cursor_ < blocks_.size() &&
+         blocks_[cursor_].capacity - blocks_[cursor_].used < count)
+    ++cursor_;
+  if (cursor_ == blocks_.size()) {
+    constexpr std::size_t kMinBlockFloats = std::size_t{1} << 14;  // 64 KiB
+    std::size_t cap =
+        blocks_.empty() ? kMinBlockFloats : blocks_.back().capacity * 2;
+    cap = std::max(cap, count);
+    Block block;
+    block.data = std::make_unique<float[]>(cap);
+    block.capacity = cap;
+    blocks_.push_back(std::move(block));
+  }
+  Block& block = blocks_[cursor_];
+  float* ptr = block.data.get() + block.used;
+  block.used += count;
+  run_floats_ += count;
+  high_water_floats_ = std::max(high_water_floats_, run_floats_);
+  return ptr;
+}
+
+void Arena::reset() noexcept {
+  for (auto& block : blocks_) block.used = 0;
+  cursor_ = 0;
+  run_floats_ = 0;
+}
+
+std::size_t Arena::capacity_bytes() const noexcept {
+  std::size_t floats = 0;
+  for (const auto& block : blocks_) floats += block.capacity;
+  return floats * sizeof(float);
+}
+
+Arena& thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+// --- Kernels -----------------------------------------------------------------
+
+void matmul_xw(const float* x, const float* w, const float* bias, float* y,
+               std::size_t rows, std::size_t in, std::size_t out) {
+  // Bit-identity pins each output element to the graph kernel's
+  // ascending-k accumulation (with the `x[k] == 0 → skip` rule), so the
+  // dot product itself cannot be reassociated for SIMD. Parallelism
+  // comes from the two independent directions instead: the inner j loop
+  // vectorizes across output columns (exactly like the graph kernel),
+  // and rows are blocked in fours so one streamed weight row feeds four
+  // accumulator rows. The fused four-row loop only runs when all four x
+  // values are nonzero; any zero drops to per-row guarded loops, which
+  // produce the same float additions in the same order.
+  constexpr std::size_t kRowBlock = 4;
+  std::size_t r = 0;
+  for (; r + kRowBlock <= rows; r += kRowBlock) {
+    const float* x0 = x + (r + 0) * in;
+    const float* x1 = x + (r + 1) * in;
+    const float* x2 = x + (r + 2) * in;
+    const float* x3 = x + (r + 3) * in;
+    float* y0 = y + (r + 0) * out;
+    float* y1 = y + (r + 1) * out;
+    float* y2 = y + (r + 2) * out;
+    float* y3 = y + (r + 3) * out;
+    std::fill(y0, y0 + out, 0.0f);
+    std::fill(y1, y1 + out, 0.0f);
+    std::fill(y2, y2 + out, 0.0f);
+    std::fill(y3, y3 + out, 0.0f);
+    for (std::size_t k = 0; k < in; ++k) {
+      const float* wrow = w + k * out;
+      const float a0 = x0[k], a1 = x1[k], a2 = x2[k], a3 = x3[k];
+      if (a0 != 0.0f && a1 != 0.0f && a2 != 0.0f && a3 != 0.0f) {
+        for (std::size_t j = 0; j < out; ++j) {
+          const float wv = wrow[j];
+          y0[j] += a0 * wv;
+          y1[j] += a1 * wv;
+          y2[j] += a2 * wv;
+          y3[j] += a3 * wv;
+        }
+      } else {
+        if (a0 != 0.0f)
+          for (std::size_t j = 0; j < out; ++j) y0[j] += a0 * wrow[j];
+        if (a1 != 0.0f)
+          for (std::size_t j = 0; j < out; ++j) y1[j] += a1 * wrow[j];
+        if (a2 != 0.0f)
+          for (std::size_t j = 0; j < out; ++j) y2[j] += a2 * wrow[j];
+        if (a3 != 0.0f)
+          for (std::size_t j = 0; j < out; ++j) y3[j] += a3 * wrow[j];
+      }
+    }
+    if (bias) {
+      for (std::size_t j = 0; j < out; ++j) y0[j] = y0[j] + bias[j];
+      for (std::size_t j = 0; j < out; ++j) y1[j] = y1[j] + bias[j];
+      for (std::size_t j = 0; j < out; ++j) y2[j] = y2[j] + bias[j];
+      for (std::size_t j = 0; j < out; ++j) y3[j] = y3[j] + bias[j];
+    }
+  }
+  // Remainder rows (and the whole B=1 serving path): accumulate a
+  // fixed-width column chunk in a local array the compiler keeps in
+  // registers, so the k loop never round-trips partial sums through the
+  // output buffer. Per output element the arithmetic is unchanged —
+  // ascending k, zero-skip, bias after the full dot.
+  constexpr std::size_t kColChunk = 32;
+  for (; r < rows; ++r) {
+    const float* xrow = x + r * in;
+    float* yrow = y + r * out;
+    std::size_t j0 = 0;
+    for (; j0 + kColChunk <= out; j0 += kColChunk) {
+      float acc[kColChunk] = {};
+      for (std::size_t k = 0; k < in; ++k) {
+        const float xv = xrow[k];
+        if (xv == 0.0f) continue;
+        const float* wrow = w + k * out + j0;
+        for (std::size_t j = 0; j < kColChunk; ++j) acc[j] += xv * wrow[j];
+      }
+      if (bias)
+        for (std::size_t j = 0; j < kColChunk; ++j)
+          yrow[j0 + j] = acc[j] + bias[j0 + j];
+      else
+        for (std::size_t j = 0; j < kColChunk; ++j) yrow[j0 + j] = acc[j];
+    }
+    if (j0 < out) {
+      float acc[kColChunk] = {};
+      const std::size_t tail = out - j0;
+      for (std::size_t k = 0; k < in; ++k) {
+        const float xv = xrow[k];
+        if (xv == 0.0f) continue;
+        const float* wrow = w + k * out + j0;
+        for (std::size_t j = 0; j < tail; ++j) acc[j] += xv * wrow[j];
+      }
+      if (bias)
+        for (std::size_t j = 0; j < tail; ++j) yrow[j0 + j] = acc[j] + bias[j0 + j];
+      else
+        for (std::size_t j = 0; j < tail; ++j) yrow[j0 + j] = acc[j];
+    }
+  }
+}
+
+void matmul_ab_naive(const float* a, const float* b, float* c, std::size_t m,
+                     std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aval = a[i * k + kk];
+      if (aval == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+void add_inplace(float* y, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = y[i] + x[i];
+}
+
+void add_row_bias_inplace(float* y, const float* bias, std::size_t rows,
+                          std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* yrow = y + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) yrow[c] = yrow[c] + bias[c];
+  }
+}
+
+void tanh_inplace(float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+}
+
+void sigmoid_inplace(float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+void relu_inplace(float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void slice_cols(const float* x, std::size_t rows, std::size_t src_cols,
+                std::size_t start, std::size_t len, float* y) {
+  CA5G_DCHECK_MSG(start + len <= src_cols, "slice_cols out of range");
+  for (std::size_t r = 0; r < rows; ++r)
+    std::copy(x + r * src_cols + start, x + r * src_cols + start + len,
+              y + r * len);
+}
+
+void concat_cols(const float* const* parts, const std::size_t* widths,
+                 std::size_t count, std::size_t rows, float* y) {
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < count; ++p) total += widths[p];
+  std::size_t offset = 0;
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::size_t w = widths[p];
+    for (std::size_t r = 0; r < rows; ++r)
+      std::copy(parts[p] + r * w, parts[p] + (r + 1) * w,
+                y + r * total + offset);
+    offset += w;
+  }
+}
+
+void softmax_rows(const float* x, float* y, std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xrow = x + r * cols;
+    float* yrow = y + r * cols;
+    float maxv = xrow[0];
+    for (std::size_t c = 1; c < cols; ++c) maxv = std::max(maxv, xrow[c]);
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float e = std::exp(xrow[c] - maxv);
+      yrow[c] = e;
+      denom += e;
+    }
+    for (std::size_t c = 0; c < cols; ++c) yrow[c] /= denom;
+  }
+}
+
+void rowwise_dot(const float* a, const float* b, float* y, std::size_t rows,
+                 std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* arow = a + r * cols;
+    const float* brow = b + r * cols;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) acc += arow[c] * brow[c];
+    y[r] = acc;
+  }
+}
+
+void mul_col_broadcast(const float* a, const float* col, float* y,
+                       std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* arow = a + r * cols;
+    float* yrow = y + r * cols;
+    const float cv = col[r];
+    for (std::size_t c = 0; c < cols; ++c) yrow[c] = arow[c] * cv;
+  }
+}
+
+// --- Packed modules ----------------------------------------------------------
+
+PackedLinear::PackedLinear(const Tensor& weight, const Tensor& bias_row)
+    : in(weight.rows()),
+      out(weight.cols()),
+      w(weight.values()),
+      bias(bias_row.values()) {
+  CA5G_CHECK_MSG(bias_row.rows() == 1 && bias_row.cols() == out,
+                 "packed linear bias shape mismatch");
+}
+
+PackedLinear::PackedLinear(const Linear& src)
+    : PackedLinear(src.weight(), src.bias()) {}
+
+void PackedLinear::forward(const float* x, std::size_t rows, float* y) const {
+  matmul_xw(x, w.data(), bias.data(), y, rows, in, out);
+}
+
+PackedMlp::PackedMlp(const Mlp& src) {
+  for (const auto& layer : src.layers()) layers.emplace_back(layer);
+}
+
+const float* PackedMlp::forward(Arena& arena, const float* x,
+                                std::size_t rows) const {
+  const float* h = x;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    float* y = arena.alloc(rows * layers[i].out);
+    layers[i].forward(h, rows, y);
+    if (i + 1 < layers.size()) relu_inplace(y, rows * layers[i].out);
+    h = y;
+  }
+  return h;
+}
+
+void PackedLstm::Cell::step(const float* x, float* h, float* c,
+                            std::size_t rows, float* xg, float* hg) const {
+  const std::size_t g4 = 4 * hidden;
+  matmul_xw(x, w_ih.data(), nullptr, xg, rows, in, g4);
+  matmul_xw(h, w_hh.data(), nullptr, hg, rows, hidden, g4);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* grow = xg + r * g4;
+    const float* hrow = hg + r * g4;
+    // The graph's exact parenthesization: x·Wih + (h·Whh + bias).
+    for (std::size_t j = 0; j < g4; ++j) grow[j] = grow[j] + (hrow[j] + bias[j]);
+    sigmoid_inplace(grow, hidden);               // i
+    sigmoid_inplace(grow + hidden, hidden);      // f
+    tanh_inplace(grow + 2 * hidden, hidden);     // g
+    sigmoid_inplace(grow + 3 * hidden, hidden);  // o
+    float* hout = h + r * hidden;
+    float* cout = c + r * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const float iv = grow[j];
+      const float fv = grow[hidden + j];
+      const float gv = grow[2 * hidden + j];
+      const float ov = grow[3 * hidden + j];
+      const float cv = (fv * cout[j]) + (iv * gv);
+      cout[j] = cv;
+      hout[j] = ov * std::tanh(cv);
+    }
+  }
+}
+
+PackedLstm::PackedLstm(const Lstm& src) {
+  for (const auto& cell : src.cells()) {
+    Cell packed;
+    packed.in = cell.input_size();
+    packed.hidden = cell.hidden_size();
+    packed.w_ih = cell.w_ih().values();
+    packed.w_hh = cell.w_hh().values();
+    packed.bias = cell.bias().values();
+    cells.push_back(std::move(packed));
+  }
+}
+
+float* PackedLstm::alloc_states(Arena& arena, std::size_t rows) const {
+  float* states = arena.alloc(state_floats(rows));
+  zero_states(states, rows);
+  return states;
+}
+
+void PackedLstm::zero_states(float* states, std::size_t rows) const {
+  std::fill(states, states + state_floats(rows), 0.0f);
+}
+
+const float* PackedLstm::step(const float* x, float* states, std::size_t rows,
+                              float* xg, float* hg) const {
+  const std::size_t seg = rows * hidden();
+  const float* input = x;
+  for (std::size_t l = 0; l < cells.size(); ++l) {
+    float* h = states + (2 * l) * seg;
+    float* c = states + (2 * l + 1) * seg;
+    cells[l].step(input, h, c, rows, xg, hg);
+    input = h;
+  }
+  return input;
+}
+
+PackedConv1d::PackedConv1d(const CausalConv1d& src)
+    : in(src.taps().front().rows()),
+      out(src.taps().front().cols()),
+      kernel(src.kernel_size()),
+      dilation(src.dilation()),
+      bias(src.bias().values()) {
+  for (const auto& tap : src.taps()) tap_w.push_back(tap.values());
+}
+
+void PackedConv1d::forward_step(const float* seq, std::size_t t,
+                                std::size_t t_len, std::size_t rows, float* y,
+                                float* tmp) const {
+  CA5G_DCHECK_MSG(t < t_len, "conv step out of range");
+  bool first = true;
+  for (std::size_t k = 0; k < kernel; ++k) {
+    const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(t) -
+                               static_cast<std::ptrdiff_t>(k * dilation);
+    if (src < 0) continue;  // causal zero padding
+    const float* xs = seq + static_cast<std::size_t>(src) * rows * in;
+    if (first) {
+      matmul_xw(xs, tap_w[k].data(), nullptr, y, rows, in, out);
+      first = false;
+    } else {
+      // Fold `acc + term` pairwise like the graph: the term's dot is
+      // completed before it joins the accumulator.
+      matmul_xw(xs, tap_w[k].data(), nullptr, tmp, rows, in, out);
+      add_inplace(y, tmp, rows * out);
+    }
+  }
+  if (first) std::fill(y, y + rows * out, 0.0f);
+  add_row_bias_inplace(y, bias.data(), rows, out);
+}
+
+}  // namespace ca5g::nn::infer

@@ -33,6 +33,11 @@ class Linear final : public Module {
   [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
   [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
 
+  /// Read-only weight views for the inference fast path's plan compiler
+  /// (nn/infer.hpp), which snapshots them into a packed layout.
+  [[nodiscard]] const Tensor& weight() const noexcept { return weight_; }
+  [[nodiscard]] const Tensor& bias() const noexcept { return bias_; }
+
  private:
   std::size_t in_;
   std::size_t out_;
@@ -48,6 +53,8 @@ class Mlp final : public Module {
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
   [[nodiscard]] std::vector<Tensor> parameters() override;
+
+  [[nodiscard]] const std::vector<Linear>& layers() const noexcept { return layers_; }
 
  private:
   std::vector<Linear> layers_;
@@ -71,6 +78,11 @@ class LstmCell final : public Module {
 
   [[nodiscard]] std::vector<Tensor> parameters() override;
   [[nodiscard]] std::size_t hidden_size() const noexcept { return hidden_; }
+  [[nodiscard]] std::size_t input_size() const noexcept { return input_; }
+
+  [[nodiscard]] const Tensor& w_ih() const noexcept { return w_ih_; }
+  [[nodiscard]] const Tensor& w_hh() const noexcept { return w_hh_; }
+  [[nodiscard]] const Tensor& bias() const noexcept { return bias_; }
 
  private:
   std::size_t input_;
@@ -104,6 +116,8 @@ class Lstm final : public Module {
   [[nodiscard]] std::vector<Tensor> parameters() override;
   [[nodiscard]] std::size_t hidden_size() const noexcept;
 
+  [[nodiscard]] const std::vector<LstmCell>& cells() const noexcept { return cells_; }
+
  private:
   std::vector<LstmCell> cells_;
 };
@@ -135,6 +149,11 @@ class CausalConv1d final : public Module {
 
   [[nodiscard]] std::vector<Tensor> forward(std::span<const Tensor> sequence) const;
   [[nodiscard]] std::vector<Tensor> parameters() override;
+
+  [[nodiscard]] std::size_t kernel_size() const noexcept { return kernel_; }
+  [[nodiscard]] std::size_t dilation() const noexcept { return dilation_; }
+  [[nodiscard]] const std::vector<Tensor>& taps() const noexcept { return taps_; }
+  [[nodiscard]] const Tensor& bias() const noexcept { return bias_; }
 
  private:
   std::size_t kernel_;

@@ -1,12 +1,24 @@
 #include "nn/tensor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_set>
 
 #include "common/contracts.hpp"
 
 namespace ca5g::nn {
+namespace {
+
+/// Lifetime node-construction count backing debug_node_allocations().
+std::atomic<std::uint64_t> g_node_allocations{0};
+
+}  // namespace
+
+std::uint64_t debug_node_allocations() noexcept {
+  return g_node_allocations.load(std::memory_order_relaxed);
+}
+
 namespace detail {
 
 /// Graph node: storage, gradient, and the local backward rule.
@@ -23,6 +35,7 @@ struct Node {
   Node(std::size_t r, std::size_t c, bool rg)
       : values(r * c, 0.0f), rows(r), cols(c), requires_grad(rg) {
     if (rg) grad.assign(r * c, 0.0f);
+    g_node_allocations.fetch_add(1, std::memory_order_relaxed);
   }
 
   void ensure_grad() {
@@ -161,7 +174,13 @@ std::vector<float>& Tensor::grad() {
 
 const std::vector<float>& Tensor::grad() const {
   check_defined(*this, "grad()");
-  const_cast<Node*>(node_.get())->ensure_grad();
+  // No lazy allocation here: a const accessor mutating the node is a
+  // data race once trained models are shared across serving threads.
+  // Gradients exist by construction on requires_grad nodes and after
+  // zero_grad(); anything else is a caller bug.
+  CA5G_CHECK_MSG(node_->grad.size() == node_->values.size(),
+                 "grad() const before the gradient buffer exists; use "
+                 "zero_grad() or a requires_grad tensor");
   return node_->grad;
 }
 
@@ -265,10 +284,10 @@ Tensor operator+(const Tensor& a, const Tensor& b) {
   CA5G_CHECK_MSG(broadcast || (a.rows() == b.rows() && a.cols() == b.cols()),
                  "operator+ shape mismatch");
   auto out = make_result(a.rows(), a.cols(), {a.node(), b.node()});
-  const auto& av = a.values();
-  const auto& bv = b.values();
+  const float* av = a.values().data();
+  const float* bv = b.values().data();
   const std::size_t n = a.cols();
-  for (std::size_t i = 0; i < av.size(); ++i)
+  for (std::size_t i = 0; i < out->values.size(); ++i)
     out->values[i] = av[i] + (broadcast ? bv[i % n] : bv[i]);
   if (out->requires_grad) {
     out->backward_fn = [broadcast, n](Node& self) {
@@ -293,8 +312,10 @@ Tensor operator-(const Tensor& a, const Tensor& b) {
   check_defined(b, "operator-");
   CA5G_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(), "operator- shape mismatch");
   auto out = make_result(a.rows(), a.cols(), {a.node(), b.node()});
+  const float* av = a.values().data();
+  const float* bv = b.values().data();
   for (std::size_t i = 0; i < out->values.size(); ++i)
-    out->values[i] = a.values()[i] - b.values()[i];
+    out->values[i] = av[i] - bv[i];
   if (out->requires_grad) {
     out->backward_fn = [](Node& self) {
       Node& pa = *self.parents[0];
@@ -319,9 +340,11 @@ Tensor operator*(const Tensor& a, const Tensor& b) {
   CA5G_CHECK_MSG(broadcast || (a.rows() == b.rows() && a.cols() == b.cols()),
                  "operator* shape mismatch");
   auto out = make_result(a.rows(), a.cols(), {a.node(), b.node()});
+  const float* av = a.values().data();
+  const float* bv = b.values().data();
   const std::size_t n = a.cols();
   for (std::size_t i = 0; i < out->values.size(); ++i)
-    out->values[i] = a.values()[i] * (broadcast ? b.values()[i % n] : b.values()[i]);
+    out->values[i] = av[i] * (broadcast ? bv[i % n] : bv[i]);
   if (out->requires_grad) {
     out->backward_fn = [broadcast, n](Node& self) {
       Node& pa = *self.parents[0];
@@ -344,7 +367,8 @@ Tensor operator*(const Tensor& a, const Tensor& b) {
 Tensor scale(const Tensor& a, float factor) {
   check_defined(a, "scale");
   auto out = make_result(a.rows(), a.cols(), {a.node()});
-  for (std::size_t i = 0; i < out->values.size(); ++i) out->values[i] = a.values()[i] * factor;
+  const float* av = a.values().data();
+  for (std::size_t i = 0; i < out->values.size(); ++i) out->values[i] = av[i] * factor;
   if (out->requires_grad) {
     out->backward_fn = [factor](Node& self) {
       Node& pa = *self.parents[0];
@@ -361,7 +385,8 @@ template <typename Fwd, typename Dfn>
 Tensor unary_op(const Tensor& a, Fwd fwd, Dfn dfn, const char* name) {
   check_defined(a, name);
   auto out = make_result(a.rows(), a.cols(), {a.node()});
-  for (std::size_t i = 0; i < out->values.size(); ++i) out->values[i] = fwd(a.values()[i]);
+  const float* av = a.values().data();
+  for (std::size_t i = 0; i < out->values.size(); ++i) out->values[i] = fwd(av[i]);
   if (out->requires_grad) {
     out->backward_fn = [dfn](Node& self) {
       Node& pa = *self.parents[0];
@@ -407,11 +432,10 @@ Tensor concat_cols(std::span<const Tensor> parts) {
   auto out = make_result(rows, total_cols, std::move(parents));
   std::size_t offset = 0;
   for (const auto& p : parts) {
-    const auto& pv = p.values();
+    const float* pv = p.values().data();
     const std::size_t pc = p.cols();
     for (std::size_t r = 0; r < rows; ++r)
-      std::copy(pv.begin() + static_cast<std::ptrdiff_t>(r * pc),
-                pv.begin() + static_cast<std::ptrdiff_t>((r + 1) * pc),
+      std::copy(pv + r * pc, pv + (r + 1) * pc,
                 out->values.begin() + static_cast<std::ptrdiff_t>(r * total_cols + offset));
     offset += pc;
   }
@@ -439,9 +463,10 @@ Tensor slice_cols(const Tensor& a, std::size_t start, std::size_t len) {
   const std::size_t rows = a.rows();
   const std::size_t src_cols = a.cols();
   auto out = make_result(rows, len, {a.node()});
+  const float* av = a.values().data();
   for (std::size_t r = 0; r < rows; ++r)
     for (std::size_t c = 0; c < len; ++c)
-      out->values[r * len + c] = a.values()[r * src_cols + start + c];
+      out->values[r * len + c] = av[r * src_cols + start + c];
   if (out->requires_grad) {
     out->backward_fn = [rows, len, src_cols, start](Node& self) {
       Node& pa = *self.parents[0];
@@ -479,13 +504,14 @@ Tensor softmax_rows(const Tensor& a) {
   check_defined(a, "softmax_rows");
   const std::size_t rows = a.rows(), cols = a.cols();
   auto out = make_result(rows, cols, {a.node()});
+  const float* av = a.values().data();
   for (std::size_t r = 0; r < rows; ++r) {
-    float maxv = a.values()[r * cols];
-    for (std::size_t c = 1; c < cols; ++c)
-      maxv = std::max(maxv, a.values()[r * cols + c]);
+    const float* arow = av + r * cols;
+    float maxv = arow[0];
+    for (std::size_t c = 1; c < cols; ++c) maxv = std::max(maxv, arow[c]);
     float denom = 0.0f;
     for (std::size_t c = 0; c < cols; ++c) {
-      const float e = std::exp(a.values()[r * cols + c] - maxv);
+      const float e = std::exp(arow[c] - maxv);
       out->values[r * cols + c] = e;
       denom += e;
     }
@@ -516,10 +542,12 @@ Tensor rowwise_dot(const Tensor& a, const Tensor& b) {
                  "rowwise_dot shape mismatch");
   const std::size_t rows = a.rows(), cols = a.cols();
   auto out = make_result(rows, 1, {a.node(), b.node()});
+  const float* av = a.values().data();
+  const float* bv = b.values().data();
   for (std::size_t r = 0; r < rows; ++r) {
     float acc = 0.0f;
     for (std::size_t c = 0; c < cols; ++c)
-      acc += a.values()[r * cols + c] * b.values()[r * cols + c];
+      acc += av[r * cols + c] * bv[r * cols + c];
     out->values[r] = acc;
   }
   if (out->requires_grad) {
@@ -550,9 +578,11 @@ Tensor mul_col_broadcast(const Tensor& a, const Tensor& col) {
                  "mul_col_broadcast needs a (rows x 1) column");
   const std::size_t rows = a.rows(), cols = a.cols();
   auto out = make_result(rows, cols, {a.node(), col.node()});
+  const float* av = a.values().data();
+  const float* colv = col.values().data();
   for (std::size_t r = 0; r < rows; ++r)
     for (std::size_t c = 0; c < cols; ++c)
-      out->values[r * cols + c] = a.values()[r * cols + c] * col.values()[r];
+      out->values[r * cols + c] = av[r * cols + c] * colv[r];
   if (out->requires_grad) {
     out->backward_fn = [rows, cols](Node& self) {
       Node& pa = *self.parents[0];

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -22,6 +23,14 @@ namespace ca5g::nn {
 namespace detail {
 struct Node;
 }  // namespace detail
+
+/// Total autograd graph nodes constructed since process start (every
+/// Tensor and every op result is exactly one). A relaxed atomic, always
+/// on — it is one uncontended increment per node, noise next to the
+/// node's own heap allocations. The inference fast path (nn/infer.hpp)
+/// must leave this flat: tests assert a zero delta across fast-path
+/// predictions to prove serving builds no graphs.
+[[nodiscard]] std::uint64_t debug_node_allocations() noexcept;
 
 /// 2-D tensor with optional gradient tracking.
 class Tensor {
@@ -53,6 +62,10 @@ class Tensor {
   [[nodiscard]] std::vector<float>& values();
   [[nodiscard]] const std::vector<float>& values() const;
   [[nodiscard]] std::vector<float>& grad();
+  /// Read-only gradient access. The buffer must already exist — it is
+  /// allocated when a requires_grad node is built or by zero_grad() —
+  /// because a const accessor that lazily allocates would mutate shared
+  /// state under concurrent readers (e.g. a served model).
   [[nodiscard]] const std::vector<float>& grad() const;
 
   [[nodiscard]] bool requires_grad() const;

@@ -1,6 +1,7 @@
 #include "predictors/deep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -164,6 +165,7 @@ void DeepPredictor::fit(const traces::Dataset& ds,
     }
   }
   if (!val.empty()) restore_parameters(best_params);
+  rebuild_plan();
 }
 
 void DeepPredictor::save(const std::string& path) {
@@ -177,6 +179,7 @@ void DeepPredictor::load(const traces::Dataset& ds, const std::string& path) {
   build(ds, rng);
   auto params = trainable_parameters();
   nn::load_parameters(params, path);
+  rebuild_plan();
 }
 
 nn::Tensor DeepPredictor::compute_loss(std::span<const traces::Window* const> batch) {
@@ -185,10 +188,47 @@ nn::Tensor DeepPredictor::compute_loss(std::span<const traces::Window* const> ba
   return nn::mse_loss(pred, target);
 }
 
+void DeepPredictor::run_plan(std::span<const traces::Window* const> batch,
+                             std::vector<std::vector<double>>& out) const {
+  CA5G_METRIC_COUNTER(plan_runs, "infer.plan_runs_total");
+  CA5G_METRIC_GAUGE(arena_bytes, "infer.arena_bytes");
+  CA5G_METRIC_HISTOGRAM(window_ns, "infer.window_ns");
+
+  nn::infer::Arena& arena = nn::infer::thread_arena();
+  arena.reset();
+  float* pred = arena.alloc(batch.size() * horizon_);
+  CA5G_OBS_STMT(const auto t0 = std::chrono::steady_clock::now();)
+  plan_->run(batch, arena, pred);
+  CA5G_OBS_STMT(
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      window_ns.observe(
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+          static_cast<double>(batch.size()));
+      arena_bytes.set(static_cast<double>(arena.high_water_bytes()));)
+  plan_runs.inc();
+
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    std::vector<double> row;
+    row.reserve(horizon_);
+    for (std::size_t h = 0; h < horizon_; ++h)
+      row.push_back(std::clamp<double>(pred[b * horizon_ + h], 0.0, 1.5));
+    out.push_back(std::move(row));
+  }
+}
+
 std::vector<double> DeepPredictor::predict(const traces::Window& w) const {
   const traces::Window* ptr = &w;
-  const nn::Tensor pred = forward_batch(std::span<const traces::Window* const>(&ptr, 1),
-                                        /*training=*/false);
+  const std::span<const traces::Window* const> batch(&ptr, 1);
+  if (fast_path_active()) {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(1);
+    run_plan(batch, rows);
+    return std::move(rows.front());
+  }
+  CA5G_METRIC_COUNTER(graph_runs, "infer.graph_runs_total");
+  graph_runs.inc();
+  const nn::Tensor pred = forward_batch(batch, /*training=*/false);
   std::vector<double> out;
   out.reserve(horizon_);
   for (std::size_t h = 0; h < horizon_; ++h)
@@ -201,8 +241,15 @@ std::vector<std::vector<double>> DeepPredictor::predict_many(
   std::vector<std::vector<double>> out;
   out.reserve(windows.size());
   const std::size_t chunk = std::max<std::size_t>(1, config_.batch_size);
+  const bool fast = fast_path_active();
   for (std::size_t start = 0; start < windows.size(); start += chunk) {
     const auto batch = windows.subspan(start, std::min(chunk, windows.size() - start));
+    if (fast) {
+      run_plan(batch, out);
+      continue;
+    }
+    CA5G_METRIC_COUNTER(graph_runs, "infer.graph_runs_total");
+    graph_runs.inc();
     const nn::Tensor pred = forward_batch(batch, /*training=*/false);
     for (std::size_t b = 0; b < batch.size(); ++b) {
       std::vector<double> row;
@@ -214,6 +261,143 @@ std::vector<std::vector<double>> DeepPredictor::predict_many(
   }
   return out;
 }
+
+// ---- Compiled inference plans ---------------------------------------------------
+//
+// Each plan mirrors its model's forward_batch(training=false) op by op
+// with the nn::infer kernels; accumulation orders are chosen to match
+// the graph bit-for-bit (see nn/infer.hpp). Input staging replicates
+// make_sequence's float casts exactly.
+
+namespace {
+
+namespace infer = nn::infer;
+
+/// Stage one kThroughputOnly step: x (rows × 1).
+void stage_throughput(std::span<const traces::Window* const> batch, std::size_t t,
+                      float* x) {
+  for (std::size_t b = 0; b < batch.size(); ++b)
+    x[b] = static_cast<float>(batch[b]->agg_history[t]);
+}
+
+/// Stage one kThroughputPlusGlobal step: x (rows × (1 + globals)).
+void stage_throughput_global(std::span<const traces::Window* const> batch,
+                             std::size_t t, float* x) {
+  constexpr std::size_t dim = 1 + traces::kGlobalFeatureDim;
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    float* row = x + b * dim;
+    row[0] = static_cast<float>(batch[b]->agg_history[t]);
+    for (std::size_t g = 0; g < traces::kGlobalFeatureDim; ++g)
+      row[1 + g] = static_cast<float>(batch[b]->global[t][g]);
+  }
+}
+
+/// LSTM baseline: lstm over the throughput history → linear head.
+class LstmPlan final : public DeepPredictor::InferencePlan {
+ public:
+  LstmPlan(const nn::Lstm& lstm, const nn::Linear& head)
+      : lstm_(lstm), head_(head) {}
+
+  void run(std::span<const traces::Window* const> batch, infer::Arena& arena,
+           float* out) const override {
+    const std::size_t rows = batch.size();
+    const std::size_t t_len = batch.front()->agg_history.size();
+    const std::size_t g4 = 4 * lstm_.hidden();
+    float* x = arena.alloc(rows);
+    float* states = lstm_.alloc_states(arena, rows);
+    float* xg = arena.alloc(rows * g4);
+    float* hg = arena.alloc(rows * g4);
+    for (std::size_t t = 0; t < t_len; ++t) {
+      stage_throughput(batch, t, x);
+      lstm_.step(x, states, rows, xg, hg);
+    }
+    head_.forward(lstm_.top_hidden(states, rows), rows, out);
+  }
+
+ private:
+  infer::PackedLstm lstm_;
+  infer::PackedLinear head_;
+};
+
+/// TCN baseline: stacked causal convolutions with ReLU, head on the
+/// last step.
+class TcnPlan final : public DeepPredictor::InferencePlan {
+ public:
+  TcnPlan(const std::vector<nn::CausalConv1d>& convs, const nn::Linear& head)
+      : head_(head) {
+    for (const auto& conv : convs) convs_.emplace_back(conv);
+  }
+
+  void run(std::span<const traces::Window* const> batch, infer::Arena& arena,
+           float* out) const override {
+    const std::size_t rows = batch.size();
+    const std::size_t t_len = batch.front()->agg_history.size();
+    float* seq = arena.alloc(t_len * rows);
+    for (std::size_t t = 0; t < t_len; ++t)
+      stage_throughput(batch, t, seq + t * rows);
+    const float* cur = seq;
+    for (const auto& conv : convs_) {
+      float* next = arena.alloc(t_len * rows * conv.out);
+      float* tmp = arena.alloc(rows * conv.out);
+      for (std::size_t t = 0; t < t_len; ++t)
+        conv.forward_step(cur, t, t_len, rows, next + t * rows * conv.out, tmp);
+      infer::relu_inplace(next, t_len * rows * conv.out);
+      cur = next;
+    }
+    const std::size_t ch = convs_.back().out;
+    head_.forward(cur + (t_len - 1) * rows * ch, rows, out);
+  }
+
+ private:
+  std::vector<infer::PackedConv1d> convs_;
+  infer::PackedLinear head_;
+};
+
+/// Lumos5G Seq2Seq: LSTM encoder seeds the decoder's states; the
+/// decoder unrolls over the horizon feeding its own output back.
+class LumosPlan final : public DeepPredictor::InferencePlan {
+ public:
+  LumosPlan(const nn::Lstm& encoder, const nn::Lstm& decoder,
+            const nn::Linear& head, std::size_t horizon)
+      : encoder_(encoder), decoder_(decoder), head_(head), horizon_(horizon) {}
+
+  void run(std::span<const traces::Window* const> batch, infer::Arena& arena,
+           float* out) const override {
+    const std::size_t rows = batch.size();
+    const std::size_t t_len = batch.front()->agg_history.size();
+    constexpr std::size_t enc_dim = 1 + traces::kGlobalFeatureDim;
+    const std::size_t g4 = 4 * encoder_.hidden();
+
+    float* x = arena.alloc(rows * enc_dim);
+    float* states = encoder_.alloc_states(arena, rows);
+    float* xg = arena.alloc(rows * g4);
+    float* hg = arena.alloc(rows * g4);
+    for (std::size_t t = 0; t < t_len; ++t) {
+      stage_throughput_global(batch, t, x);
+      encoder_.step(x, states, rows, xg, hg);
+    }
+
+    // The decoder runs on the encoder's final states (same layers and
+    // hidden width by construction) and starts from the last observed
+    // aggregate throughput.
+    float* y = arena.alloc(rows);
+    for (std::size_t b = 0; b < rows; ++b)
+      y[b] = static_cast<float>(batch[b]->agg_history.back());
+    for (std::size_t h = 0; h < horizon_; ++h) {
+      const float* top = decoder_.step(y, states, rows, xg, hg);
+      head_.forward(top, rows, y);
+      for (std::size_t b = 0; b < rows; ++b) out[b * horizon_ + h] = y[b];
+    }
+  }
+
+ private:
+  infer::PackedLstm encoder_;
+  infer::PackedLstm decoder_;
+  infer::PackedLinear head_;
+  std::size_t horizon_;
+};
+
+}  // namespace
 
 // ---- LSTM baseline -------------------------------------------------------------
 
@@ -233,6 +417,11 @@ std::vector<nn::Tensor> LstmPredictor::trainable_parameters() {
   auto params = lstm_->parameters();
   for (auto& p : head_->parameters()) params.push_back(p);
   return params;
+}
+
+std::unique_ptr<DeepPredictor::InferencePlan> LstmPredictor::compile_plan() const {
+  if (!lstm_ || !head_) return nullptr;
+  return std::make_unique<LstmPlan>(*lstm_, *head_);
 }
 
 // ---- TCN baseline ---------------------------------------------------------------
@@ -262,6 +451,11 @@ std::vector<nn::Tensor> TcnPredictor::trainable_parameters() {
     for (auto& p : conv.parameters()) params.push_back(p);
   for (auto& p : head_->parameters()) params.push_back(p);
   return params;
+}
+
+std::unique_ptr<DeepPredictor::InferencePlan> TcnPredictor::compile_plan() const {
+  if (convs_.empty() || !head_) return nullptr;
+  return std::make_unique<TcnPlan>(convs_, *head_);
 }
 
 // ---- Lumos5G (Seq2Seq) -----------------------------------------------------------
@@ -307,6 +501,11 @@ std::vector<nn::Tensor> Lumos5gPredictor::trainable_parameters() {
   for (auto& p : decoder_->parameters()) params.push_back(p);
   for (auto& p : out_->parameters()) params.push_back(p);
   return params;
+}
+
+std::unique_ptr<DeepPredictor::InferencePlan> Lumos5gPredictor::compile_plan() const {
+  if (!encoder_ || !decoder_ || !out_) return nullptr;
+  return std::make_unique<LumosPlan>(*encoder_, *decoder_, *out_, horizon_);
 }
 
 }  // namespace ca5g::predictors

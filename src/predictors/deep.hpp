@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "nn/infer.hpp"
 #include "nn/layers.hpp"
 #include "nn/optim.hpp"
 #include "predictors/predictor.hpp"
@@ -48,7 +49,42 @@ class DeepPredictor : public Predictor {
   /// previously stored with save(). The model is then ready to predict.
   void load(const traces::Dataset& ds, const std::string& path);
 
+  /// Toggle the compiled graph-free inference path (on by default).
+  /// With it off — or when the model has no plan — predict() and
+  /// predict_many() run the autograd graph, which stays the reference
+  /// oracle for the plan's bit-identity tests.
+  void set_fast_path(bool enabled) noexcept { fast_path_enabled_ = enabled; }
+
+  /// True when predictions run a compiled plan instead of the graph.
+  [[nodiscard]] bool fast_path_active() const noexcept {
+    return fast_path_enabled_ && plan_ != nullptr;
+  }
+
+  /// A compiled graph-free forward: stages window features straight
+  /// into arena buffers and runs nn::infer kernels against weights
+  /// packed at compile_plan() time. run() writes (batch × horizon)
+  /// normalized predictions into `out` (arena-backed, sized by the
+  /// caller) and must reproduce forward_batch(batch, training=false)
+  /// bit-for-bit. Plans are immutable once built — concurrent run()
+  /// calls on a shared model are safe, each with its own arena.
+  class InferencePlan {
+   public:
+    virtual ~InferencePlan() = default;
+    virtual void run(std::span<const traces::Window* const> batch,
+                     nn::infer::Arena& arena, float* out) const = 0;
+  };
+
  protected:
+  /// Compile this model's plan from the current weights. nullptr keeps
+  /// the graph path (default, and e.g. the transformer Prism5G
+  /// variant). fit() and load() recompile via rebuild_plan(), so plans
+  /// never go stale: weights only change through those two paths.
+  [[nodiscard]] virtual std::unique_ptr<InferencePlan> compile_plan() const {
+    return nullptr;
+  }
+
+  /// Snapshot the current weights into a fresh plan.
+  void rebuild_plan() { plan_ = compile_plan(); }
   /// Construct layers for the dataset's dimensions.
   virtual void build(const traces::Dataset& ds, common::Rng& rng) = 0;
   /// Forward a batch → (batch × horizon) normalized predictions.
@@ -92,7 +128,14 @@ class DeepPredictor : public Predictor {
   [[nodiscard]] std::vector<std::vector<float>> snapshot_parameters();
   void restore_parameters(const std::vector<std::vector<float>>& snapshot);
 
+  /// Run the compiled plan on one micro-batch (at most batch_size
+  /// windows) and append the clamped prediction rows to `out`.
+  void run_plan(std::span<const traces::Window* const> batch,
+                std::vector<std::vector<double>>& out) const;
+
   std::vector<double> val_history_;
+  std::unique_ptr<InferencePlan> plan_;
+  bool fast_path_enabled_ = true;
 };
 
 /// Plain LSTM over flattened features → linear head (baseline "LSTM").
@@ -107,6 +150,7 @@ class LstmPredictor final : public DeepPredictor {
   [[nodiscard]] nn::Tensor forward_batch(std::span<const traces::Window* const> batch,
                                          bool training) const override;
   [[nodiscard]] std::vector<nn::Tensor> trainable_parameters() override;
+  [[nodiscard]] std::unique_ptr<InferencePlan> compile_plan() const override;
 
  private:
   std::unique_ptr<nn::Lstm> lstm_;
@@ -125,6 +169,7 @@ class TcnPredictor final : public DeepPredictor {
   [[nodiscard]] nn::Tensor forward_batch(std::span<const traces::Window* const> batch,
                                          bool training) const override;
   [[nodiscard]] std::vector<nn::Tensor> trainable_parameters() override;
+  [[nodiscard]] std::unique_ptr<InferencePlan> compile_plan() const override;
 
  private:
   std::vector<nn::CausalConv1d> convs_;
@@ -144,6 +189,7 @@ class Lumos5gPredictor final : public DeepPredictor {
   [[nodiscard]] nn::Tensor forward_batch(std::span<const traces::Window* const> batch,
                                          bool training) const override;
   [[nodiscard]] std::vector<nn::Tensor> trainable_parameters() override;
+  [[nodiscard]] std::unique_ptr<InferencePlan> compile_plan() const override;
 
  private:
   std::unique_ptr<nn::Lstm> encoder_;

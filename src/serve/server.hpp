@@ -7,7 +7,12 @@
 // whichever comes first. A whole batch costs one batched
 // Predictor::predict_many() call on the model pinned from the
 // ModelRegistry, so deep models amortize their forward pass across UEs
-// exactly as they do in training.
+// exactly as they do in training. For deep predictors that batched call
+// runs the compiled graph-free inference plan (nn/infer): each worker
+// thread reuses its own nn::infer::thread_arena() for scratch, so
+// steady-state serving builds no autograd nodes and touches the heap
+// zero times per batch — progress is visible in the infer.* metrics
+// next to the serve.* ones below.
 //
 // Overload behaviour is shed-not-queue: try_push admission control drops
 // requests once the queue is full (counted in serve.shed_total) so

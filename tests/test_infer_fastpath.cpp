@@ -1,0 +1,404 @@
+// The compiled inference fast path must be invisible: every DeepPredictor
+// plan has to reproduce the autograd forward bit-for-bit (operator== on
+// the predicted doubles, no tolerance), allocate nothing on the heap in
+// steady state, build zero autograd Nodes, and stay race-free when many
+// threads run a shared model. The autograd graph is the reference oracle
+// throughout — these tests diff the two paths directly.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/prism5g.hpp"
+#include "nn/infer.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+#include "predictors/deep.hpp"
+#include "predictors/predictor.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace ca5g;
+using namespace ca5g::predictors;
+namespace infer = ca5g::nn::infer;
+
+// Small enough to fit in a unit test, big enough to cover layer
+// stacking (layers = 2) and predict_many chunking (batch_size = 8 with
+// a larger test set).
+TrainConfig fast_config(std::size_t layers = 2) {
+  TrainConfig config;
+  config.epochs = 2;
+  config.hidden = 8;
+  config.layers = layers;
+  config.batch_size = 8;
+  config.patience = 2;
+  return config;
+}
+
+/// Random row-major values with a sprinkling of exact zeros, so the
+/// matmul kernels' `x == 0 → skip` rule is actually exercised.
+std::vector<float> random_values(common::Rng& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = (i % 7 == 3) ? 0.0f : static_cast<float>(rng.normal(0.0, 1.0));
+  return v;
+}
+
+/// Predictions from both paths on the same fitted model must agree
+/// exactly — predict() per window and the chunked predict_many().
+void expect_fast_matches_graph(DeepPredictor& model,
+                               const traces::Dataset::Split& split) {
+  ASSERT_TRUE(model.fast_path_active()) << model.name() << " compiled no plan";
+  ASSERT_FALSE(split.test.empty());
+
+  std::vector<std::vector<double>> fast_single;
+  for (const auto* w : split.test) fast_single.push_back(model.predict(*w));
+  const auto fast_many = model.predict_many(split.test);
+
+  model.set_fast_path(false);
+  ASSERT_FALSE(model.fast_path_active());
+  std::vector<std::vector<double>> graph_single;
+  for (const auto* w : split.test) graph_single.push_back(model.predict(*w));
+  const auto graph_many = model.predict_many(split.test);
+  model.set_fast_path(true);
+
+  ASSERT_EQ(fast_many.size(), split.test.size());
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    EXPECT_EQ(fast_single[i], graph_single[i])
+        << model.name() << " predict() diverged on window " << i;
+    EXPECT_EQ(fast_many[i], graph_many[i])
+        << model.name() << " predict_many() diverged on window " << i;
+  }
+}
+
+// --- Arena -------------------------------------------------------------------
+
+TEST(InferArena, ReusesBlocksAcrossResets) {
+  infer::Arena arena;
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+
+  float* a = arena.alloc(100);
+  float* b = arena.alloc(200);
+  EXPECT_NE(a, b);
+  const std::size_t cap = arena.capacity_bytes();
+  EXPECT_GE(cap, 300u * sizeof(float));
+  EXPECT_GE(arena.high_water_bytes(), 300u * sizeof(float));
+
+  // Identical allocation sequences after reset() land on the same
+  // addresses without growing the arena — the zero-steady-state-heap
+  // property every plan run relies on.
+  for (int round = 0; round < 5; ++round) {
+    arena.reset();
+    EXPECT_EQ(arena.alloc(100), a);
+    EXPECT_EQ(arena.alloc(200), b);
+    EXPECT_EQ(arena.capacity_bytes(), cap);
+  }
+}
+
+TEST(InferArena, GrowsGeometricallyForOversizedRequests) {
+  infer::Arena arena;
+  // Larger than the minimum block: must still come back usable.
+  float* big = arena.alloc(1u << 16);
+  big[0] = 1.0f;
+  big[(1u << 16) - 1] = 2.0f;
+  EXPECT_GE(arena.capacity_bytes(), (1u << 16) * sizeof(float));
+
+  // A small follow-up allocation must not disturb the big buffer.
+  float* small = arena.alloc(8);
+  small[0] = 3.0f;
+  EXPECT_EQ(big[0], 1.0f);
+  EXPECT_EQ(big[(1u << 16) - 1], 2.0f);
+}
+
+// --- Kernel bit-identity against the autograd ops ----------------------------
+
+TEST(InferKernels, MatmulXwMatchesGraphMatmulPlusBias) {
+  common::Rng rng(7);
+  // Odd row count exercises both the fused four-row block and the
+  // single-row remainder; the zeros in random_values() hit the guarded
+  // per-row fallback inside the block.
+  const std::size_t rows = 7, in = 13, out = 9;
+  const auto xv = random_values(rng, rows * in);
+  const auto wv = random_values(rng, in * out);
+  const auto bv = random_values(rng, out);
+
+  const auto x = nn::Tensor::from(xv, rows, in);
+  const auto w = nn::Tensor::from(wv, in, out);
+  const auto bias = nn::Tensor::from(bv, 1, out);
+  const auto ref = nn::matmul(x, w) + bias;
+
+  std::vector<float> y(rows * out);
+  infer::matmul_xw(xv.data(), wv.data(), bv.data(), y.data(), rows, in, out);
+  EXPECT_EQ(y, ref.values());
+
+  // Without bias the kernel must match the bare matmul.
+  const auto ref_nobias = nn::matmul(x, w);
+  infer::matmul_xw(xv.data(), wv.data(), nullptr, y.data(), rows, in, out);
+  EXPECT_EQ(y, ref_nobias.values());
+}
+
+TEST(InferKernels, NaiveMatmulMatchesGraphKernel) {
+  common::Rng rng(8);
+  const std::size_t m = 4, k = 11, n = 6;
+  const auto av = random_values(rng, m * k);
+  const auto bv = random_values(rng, k * n);
+  const auto ref =
+      nn::matmul(nn::Tensor::from(av, m, k), nn::Tensor::from(bv, k, n));
+
+  std::vector<float> c(m * n, 0.0f);
+  infer::matmul_ab_naive(av.data(), bv.data(), c.data(), m, k, n);
+  EXPECT_EQ(c, ref.values());
+}
+
+TEST(InferKernels, ActivationsMatchGraphOps) {
+  common::Rng rng(9);
+  const std::size_t rows = 3, cols = 17;
+  const auto xv = random_values(rng, rows * cols);
+  const auto x = nn::Tensor::from(xv, rows, cols);
+
+  auto buf = xv;
+  infer::tanh_inplace(buf.data(), buf.size());
+  EXPECT_EQ(buf, nn::tanh_op(x).values());
+
+  buf = xv;
+  infer::sigmoid_inplace(buf.data(), buf.size());
+  EXPECT_EQ(buf, nn::sigmoid(x).values());
+
+  buf = xv;
+  infer::relu_inplace(buf.data(), buf.size());
+  EXPECT_EQ(buf, nn::relu(x).values());
+}
+
+TEST(InferKernels, ShapeOpsMatchGraphOps) {
+  common::Rng rng(10);
+  const std::size_t rows = 4, cols = 12;
+  const auto av = random_values(rng, rows * cols);
+  const auto bv = random_values(rng, rows * cols);
+  const auto colv = random_values(rng, rows);
+  const auto a = nn::Tensor::from(av, rows, cols);
+  const auto b = nn::Tensor::from(bv, rows, cols);
+  const auto col = nn::Tensor::from(colv, rows, 1);
+
+  std::vector<float> y(rows * cols);
+  infer::softmax_rows(av.data(), y.data(), rows, cols);
+  EXPECT_EQ(y, nn::softmax_rows(a).values());
+
+  std::vector<float> dot(rows);
+  infer::rowwise_dot(av.data(), bv.data(), dot.data(), rows, cols);
+  EXPECT_EQ(dot, nn::rowwise_dot(a, b).values());
+
+  infer::mul_col_broadcast(av.data(), colv.data(), y.data(), rows, cols);
+  EXPECT_EQ(y, nn::mul_col_broadcast(a, col).values());
+
+  const std::size_t start = 3, len = 5;
+  std::vector<float> sl(rows * len);
+  infer::slice_cols(av.data(), rows, cols, start, len, sl.data());
+  EXPECT_EQ(sl, nn::slice_cols(a, start, len).values());
+
+  const float* parts[] = {av.data(), bv.data()};
+  const std::size_t widths[] = {cols, cols};
+  std::vector<float> cat(rows * 2 * cols);
+  infer::concat_cols(parts, widths, 2, rows, cat.data());
+  const nn::Tensor part_tensors[] = {a, b};
+  EXPECT_EQ(cat, nn::concat_cols(part_tensors).values());
+}
+
+// --- Plan vs graph: every DeepPredictor subclass -----------------------------
+
+TEST(InferFastPath, LstmPlanMatchesGraph) {
+  const auto ds = test::synthetic_dataset(2, 200);
+  common::Rng rng(21);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  LstmPredictor model(fast_config(2));
+  model.fit(ds, split.train, split.val);
+  expect_fast_matches_graph(model, split);
+}
+
+TEST(InferFastPath, TcnPlanMatchesGraph) {
+  const auto ds = test::synthetic_dataset(2, 200);
+  common::Rng rng(22);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  TcnPredictor model(fast_config(2));
+  model.fit(ds, split.train, split.val);
+  expect_fast_matches_graph(model, split);
+}
+
+TEST(InferFastPath, Lumos5gPlanMatchesGraph) {
+  const auto ds = test::synthetic_dataset(2, 200);
+  common::Rng rng(23);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  Lumos5gPredictor model(fast_config(1));
+  model.fit(ds, split.train, split.val);
+  expect_fast_matches_graph(model, split);
+}
+
+TEST(InferFastPath, Prism5gPlanMatchesGraph) {
+  const auto ds = test::synthetic_dataset(2, 200);
+  common::Rng rng(24);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  core::Prism5G model(fast_config(1));
+  model.fit(ds, split.train, split.val);
+  expect_fast_matches_graph(model, split);
+}
+
+TEST(InferFastPath, Prism5gAblationsMatchGraph) {
+  const auto ds = test::synthetic_dataset(2, 200);
+  common::Rng rng(25);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+
+  core::Prism5gConfig nostate;
+  nostate.use_state = false;
+  core::Prism5G no_state_model(fast_config(1), nostate);
+  no_state_model.fit(ds, split.train, split.val);
+  expect_fast_matches_graph(no_state_model, split);
+
+  core::Prism5gConfig nofusion;
+  nofusion.use_fusion = false;
+  core::Prism5G no_fusion_model(fast_config(1), nofusion);
+  no_fusion_model.fit(ds, split.train, split.val);
+  expect_fast_matches_graph(no_fusion_model, split);
+}
+
+TEST(InferFastPath, TransformerPrism5gKeepsGraphPath) {
+  const auto ds = test::synthetic_dataset(2, 200);
+  common::Rng rng(26);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+
+  core::Prism5gConfig config;
+  config.encoder = core::EncoderKind::kTransformer;
+  TrainConfig train = fast_config(1);
+  train.epochs = 1;
+  core::Prism5G model(train, config);
+  model.fit(ds, split.train, split.val);
+
+  // No plan for the transformer variant — but prediction still works
+  // through the autograd fallback.
+  EXPECT_FALSE(model.fast_path_active());
+  const auto pred = model.predict(*split.test.front());
+  EXPECT_EQ(pred.size(), split.test.front()->target.size());
+}
+
+// --- Plans survive save()/load() ---------------------------------------------
+
+TEST(InferFastPath, LoadedModelRecompilesPlan) {
+  const auto ds = test::synthetic_dataset(2, 200);
+  common::Rng rng(27);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  LstmPredictor trained(fast_config(2));
+  trained.fit(ds, split.train, split.val);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ca5g_infer_fastpath.bin").string();
+  trained.save(path);
+  LstmPredictor restored(fast_config(2));
+  restored.load(ds, path);
+  std::filesystem::remove(path);
+
+  // load() must recompile the plan from the restored weights...
+  ASSERT_TRUE(restored.fast_path_active());
+  // ...and the restored plan must match both the trained model and its
+  // own graph path exactly.
+  for (const auto* w : split.test)
+    EXPECT_EQ(restored.predict(*w), trained.predict(*w));
+  expect_fast_matches_graph(restored, split);
+}
+
+// --- Zero steady-state allocations -------------------------------------------
+
+TEST(InferFastPath, ArenaStopsGrowingAfterFirstRun) {
+  const auto ds = test::synthetic_dataset(2, 200);
+  common::Rng rng(28);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  LstmPredictor model(fast_config(2));
+  model.fit(ds, split.train, split.val);
+  ASSERT_TRUE(model.fast_path_active());
+
+  // First pass sizes this thread's arena; afterwards the identical
+  // allocation sequence must never grow it again.
+  (void)model.predict_many(split.test);
+  const std::size_t cap = infer::thread_arena().capacity_bytes();
+  EXPECT_GT(cap, 0u);
+  for (int round = 0; round < 5; ++round) {
+    (void)model.predict_many(split.test);
+    for (const auto* w : split.test) (void)model.predict(*w);
+    EXPECT_EQ(infer::thread_arena().capacity_bytes(), cap)
+        << "arena grew on steady-state round " << round;
+  }
+}
+
+TEST(InferFastPath, PlanBuildsNoAutogradNodes) {
+  const auto ds = test::synthetic_dataset(2, 200);
+  common::Rng rng(29);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  core::Prism5G model(fast_config(1));
+  model.fit(ds, split.train, split.val);
+  ASSERT_TRUE(model.fast_path_active());
+
+  // The compiled path must never touch the autograd heap: zero Node
+  // constructions across single and batched inference, and across the
+  // eval entry point (evaluate_rmse drives predict_many).
+  const std::uint64_t before = nn::debug_node_allocations();
+  (void)model.predict_many(split.test);
+  for (const auto* w : split.test) (void)model.predict(*w);
+  (void)predictors::evaluate_rmse(model, split.test);
+  EXPECT_EQ(nn::debug_node_allocations(), before);
+
+  // Sanity-check the hook itself: the graph path does allocate Nodes.
+  model.set_fast_path(false);
+  (void)model.predict(*split.test.front());
+  EXPECT_GT(nn::debug_node_allocations(), before);
+  model.set_fast_path(true);
+}
+
+// --- Concurrency: shared plan, per-thread arenas -----------------------------
+
+TEST(InferFastPath, ConcurrentPlanRunsAreBitIdentical) {
+  const auto ds = test::synthetic_dataset(2, 200);
+  common::Rng rng(30);
+  const auto split = ds.random_split(0.5, 0.2, rng);
+  LstmPredictor model(fast_config(2));
+  model.fit(ds, split.train, split.val);
+  ASSERT_TRUE(model.fast_path_active());
+
+  std::vector<std::vector<double>> reference;
+  for (const auto* w : split.test) reference.push_back(model.predict(*w));
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 8;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < split.test.size(); ++i) {
+          const std::size_t j =
+              (i + t * split.test.size() / kThreads) % split.test.size();
+          if (model.predict(*split.test[j]) != reference[j]) {
+            failures[t] = "thread " + std::to_string(t) +
+                          " diverged on window " + std::to_string(j);
+            return;
+          }
+        }
+        const auto many = model.predict_many(split.test);
+        for (std::size_t j = 0; j < many.size(); ++j) {
+          if (many[j] != reference[j]) {
+            failures[t] = "thread " + std::to_string(t) +
+                          " predict_many diverged on window " + std::to_string(j);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& f : failures) EXPECT_TRUE(f.empty()) << f;
+}
+
+}  // namespace

@@ -15,7 +15,9 @@
 # covers the instrumented layers (see docs/OBSERVABILITY.md), and a
 # serving smoke replays a trace through the in-process PredictionServer
 # via `ca5g loadgen` and asserts completions with zero errors (see
-# docs/SERVING.md).
+# docs/SERVING.md). An inference fast-path smoke then proves the
+# compiled plans are bit-identical to the autograd forward
+# (`bench_infer_fastpath --equality-only`).
 #
 # Parallel tests that fail are retried once via `ctest --rerun-failed`;
 # a pass on retry is reported LOUDLY as flaky and still fails the run —
@@ -87,6 +89,12 @@ assert m["histograms"]["serve.request_latency_ns"]["count"] > 0
 print(f"serve smoke OK: completed={c['serve.completed_total']}, "
       f"batches={c.get('serve.batches_total', 0)}")
 EOF
+
+# --- 1d. Inference fast-path smoke: compiled plans must match the graph -----
+# Bit-identity between the compiled inference plans and the autograd
+# forward for every deep predictor, without the timing loops (the ≥3x
+# speedup gate runs as the bench_infer_fastpath_smoke ctest in stage 1).
+run ./build-ci-release/bench/bench_infer_fastpath --equality-only
 
 # --- 2. ASan + UBSan (fatal on first report) --------------------------------
 run cmake -B build-ci-asan -S . \

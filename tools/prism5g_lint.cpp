@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "nn/infer.hpp"
 #include "obs/metrics.hpp"
 #include "phy/band.hpp"
 #include "phy/mcs.hpp"
@@ -454,6 +455,20 @@ void lint_serve_metric_names(Linter& lint) {
   lint_metric_names(lint, names);
 }
 
+/// The inference fast path likewise declares its metric surface up front
+/// (nn::infer::kInferMetricNames, recorded by DeepPredictor::run_plan).
+/// Same rationale as the serve list: validate the declared contract, not
+/// a registry that only fills once a model has served predictions.
+void lint_infer_metric_names(Linter& lint) {
+  std::vector<std::string> names;
+  for (const auto name : nn::infer::kInferMetricNames) names.emplace_back(name);
+  lint.expect(!names.empty(), "inference fast path declares no metrics");
+  for (const auto& name : names)
+    lint.expect(name.rfind("infer.", 0) == 0,
+                "infer metric not under the infer. layer prefix: " + name);
+  lint_metric_names(lint, names);
+}
+
 // --- Self-test: the detectors must fire on corrupted tables ------------------
 
 /// Runs `check` against a corrupted table copy and reports whether it
@@ -514,7 +529,11 @@ void self_test(Linter& lint) {
                           // serve-flavoured offenders: bad unit suffix,
                           // missing layer, camel-case noun.
                           "serve.shed_requests", "shed_total",
-                          "serve.queueDepth_count"}) {
+                          "serve.queueDepth_count",
+                          // infer-flavoured offenders: camel-case noun,
+                          // non-canonical unit, missing layer prefix.
+                          "infer.planRuns_total", "infer.arena_megabytes",
+                          "plan_runs_total"}) {
     lint.expect(
         detects([&](Linter& sub) { lint_metric_names(sub, {std::string(bad)}); }),
         std::string("self-test: malformed metric name must be detected: ") + bad);
@@ -555,6 +574,7 @@ int main(int argc, char** argv) {
   // registry now holds every metric name those paths register.
   lint_metric_names(lint, obs::MetricsRegistry::global().names());
   lint_serve_metric_names(lint);
+  lint_infer_metric_names(lint);
   if (run_self_test) self_test(lint);
 
   if (lint.failures().empty()) {
